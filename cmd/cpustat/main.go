@@ -1,0 +1,47 @@
+// Command cpustat reproduces Figure 12 (system CPU for a 16 MB mmap
+// read, clustered vs legacy UFS) and, with -legacy, the introduction's
+// sizing observation ("about half of a 12MIPS CPU was used to get half
+// of the disk bandwidth").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ufsclust"
+	"ufsclust/internal/cpubench"
+)
+
+func main() {
+	fileMB := flag.Int("file", 16, "file size in MB")
+	legacy := flag.Bool("legacy", false, "measure the legacy read(2) path instead (intro claim)")
+	breakdown := flag.Bool("breakdown", false, "print per-category CPU breakdowns")
+	flag.Parse()
+
+	if *legacy {
+		res, err := cpubench.ReadWithCopy(ufsclust.RunD(), *fileMB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpustat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("legacy UFS sequential read, %dMB file:\n", *fileMB)
+		fmt.Printf("  %.0f KB/s at %.0f%% of a 12 MIPS CPU\n", res.RateKBs, res.CPUShare*100)
+		fmt.Println("  (paper: about half the CPU for half of a ~1.5MB/s disk)")
+		if *breakdown {
+			fmt.Print(res.Report)
+		}
+		return
+	}
+
+	newRes, oldRes, err := cpubench.Figure12(*fileMB)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpustat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 12: System CPU comparison")
+	fmt.Print(cpubench.Format(newRes, oldRes))
+	if *breakdown {
+		fmt.Printf("\nnew (clustered):\n%s\nold (legacy):\n%s", newRes.Report, oldRes.Report)
+	}
+}

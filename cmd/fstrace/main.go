@@ -1,0 +1,43 @@
+// Command fstrace renders the paper's access-pattern figures from live
+// execution of the engine: Figure 3 (legacy one-block read-ahead),
+// Figure 6 (clustered reads, maxcontig 3), and Figure 7 (clustered
+// writes, maxcontig 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ufsclust/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to render (3, 6, or 7; 0 = all)")
+	flag.Parse()
+
+	figs := map[int]func() (*trace.Figure, error){
+		3: trace.Figure3,
+		6: trace.Figure6,
+		7: trace.Figure7,
+	}
+	order := []int{3, 6, 7}
+	if *fig != 0 {
+		if _, ok := figs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "fstrace: no figure %d (have 3, 6, 7)\n", *fig)
+			os.Exit(2)
+		}
+		order = []int{*fig}
+	}
+	for i, n := range order {
+		f, err := figs[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fstrace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Render(os.Stdout)
+		if i < len(order)-1 {
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command iobench reproduces the paper's Figures 9, 10, and 11: the
+// IObench run configurations, transfer rates in KB/second, and the
+// rate ratios relative to run A.
+//
+// Usage:
+//
+//	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-list] [-ratios]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ufsclust"
+	"ufsclust/internal/iobench"
+)
+
+func main() {
+	fileMB := flag.Int("file", 16, "benchmark file size in MB")
+	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
+	runsFlag := flag.String("runs", "A,B,C,D", "comma-separated run configurations")
+	list := flag.Bool("list", false, "print Figure 9 (run descriptions) and exit")
+	ratiosOnly := flag.Bool("ratios", false, "print only Figure 11 (ratios)")
+	flag.Parse()
+
+	all := map[string]ufsclust.RunConfig{}
+	for _, rc := range ufsclust.Runs() {
+		all[rc.Name] = rc
+	}
+	var runs []ufsclust.RunConfig
+	for _, name := range strings.Split(*runsFlag, ",") {
+		rc, ok := all[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iobench: unknown run %q\n", name)
+			os.Exit(2)
+		}
+		runs = append(runs, rc)
+	}
+
+	if *list {
+		fmt.Println("Figure 9: IObench run descriptions")
+		fmt.Printf("%-4s %8s %9s %8s %11s %11s\n", "", "cluster", "rotdelay", "UFS", "free-behind", "write-limit")
+		for _, rc := range runs {
+			fmt.Printf("%-4s %7dK %7dms %8s %11v %11v\n",
+				rc.Name, rc.ClusterKB, rc.RotdelayMs, rc.UFSVersion, rc.FreeBehind, rc.WriteLimit)
+		}
+		return
+	}
+
+	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops}
+	tab, err := iobench.RunAll(runs, iobench.Kinds(), prm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+		os.Exit(1)
+	}
+	if !*ratiosOnly {
+		fmt.Printf("Figure 10: IObench transfer rates in KB/second (%dMB file)\n", *fileMB)
+		fmt.Print(tab.FormatRates(iobench.Kinds()))
+		fmt.Println()
+	}
+	fmt.Println("Figure 11: IObench transfer rate ratios")
+	fmt.Print(tab.FormatRatios(iobench.Kinds()))
+}

@@ -1,0 +1,109 @@
+// Database: a transaction-like workload of random 8 KB updates over a
+// large table file, with a periodic "checkpoint" that rewrites a region
+// sequentially. Shows the write-limit fairness trade-off the paper
+// accepted (random updates get slightly slower) and the latency
+// protection it buys: with the limit, a concurrent small writer's
+// fsync latency stays bounded while the checkpoint runs; without it the
+// checkpoint's queue starves everyone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ufsclust"
+	"ufsclust/internal/sim"
+)
+
+const (
+	tableSize  = 16 << 20
+	checkpoint = 4 << 20
+	updates    = 400
+)
+
+func main() {
+	fmt.Println("random-update database with a concurrent checkpoint, twice:")
+	for _, limit := range []int64{ufsclust.WriteLimitBytes, 0} {
+		run(limit)
+	}
+	fmt.Println("(the paper: \"We made a tradeoff between performance and fairness in favor of fairness\")")
+}
+
+func run(limit int64) {
+	opts := ufsclust.RunA().Options()
+	opts.Mount.WriteLimit = limit
+	m, err := ufsclust.NewMachine(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var updateRate float64
+	var worstLog sim.Time
+
+	err = m.Run(func(p *sim.Proc) {
+		table, err := m.Engine.Create(p, "/table.db")
+		if err != nil {
+			log.Fatal(err)
+		}
+		chunk := make([]byte, 120<<10)
+		for off := int64(0); off < tableSize; off += int64(len(chunk)) {
+			table.Write(p, off, chunk)
+		}
+		table.Fsync(p)
+
+		logf, err := m.Engine.Create(p, "/commit.log")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Checkpointer: rewrites a big region sequentially, hogging the
+		// queue if nothing stops it.
+		m.Sim.SpawnDaemon("checkpoint", func(cp *sim.Proc) {
+			for {
+				for off := int64(0); off < checkpoint; off += int64(len(chunk)) {
+					table.Write(cp, off, chunk)
+				}
+				table.Fsync(cp)
+				cp.Sleep(50 * sim.Millisecond)
+			}
+		})
+
+		// Log writer: small synchronous commits; its latency is what
+		// the fairness fix protects.
+		rec := make([]byte, 8192)
+		var logOff int64
+		m.Sim.SpawnDaemon("logger", func(lp *sim.Proc) {
+			for {
+				lp.Sleep(40 * sim.Millisecond)
+				t0 := lp.Now()
+				logf.Write(lp, logOff, rec)
+				logf.Fsync(lp)
+				logOff += 8192
+				if dt := lp.Now() - t0; dt > worstLog {
+					worstLog = dt
+				}
+			}
+		})
+
+		// Foreground: random updates.
+		buf := make([]byte, 8192)
+		t0 := p.Now()
+		for i := 0; i < updates; i++ {
+			off := m.Sim.Rand.Int63n(tableSize/8192) * 8192
+			table.Write(p, off, buf)
+		}
+		table.Fsync(p)
+		updateRate = float64(updates*8192) / 1024 / (p.Now() - t0).Seconds()
+		m.Sim.Stop() // checkpoint and logger daemons run forever
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	name := "240KB write limit"
+	if limit == 0 {
+		name = "no write limit   "
+	}
+	fmt.Printf("  %s: random updates %4.0f KB/s, worst commit latency %8v, write stalls %d\n",
+		name, updateRate, worstLog, m.Engine.Stats.WriteStalls)
+}

@@ -1,0 +1,103 @@
+// Videoserver: the paper's motivating workload — "applications such as
+// video and sound require much higher data rates than are available
+// today through UFS". A 24 MB "video" (three times physical memory)
+// is streamed while a second process keeps a working set of small files
+// warm. With free-behind (run A) the stream recycles its own pages and
+// the editor's cache survives; without it (free-behind off) the stream
+// flushes everything through the pageout daemon.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ufsclust"
+	"ufsclust/internal/sim"
+)
+
+const (
+	videoSize = 24 << 20
+	hotFiles  = 24
+	hotSize   = 64 << 10
+)
+
+func main() {
+	fmt.Println("streaming a 24MB video through an 8MB machine, twice:")
+	for _, freeBehind := range []bool{true, false} {
+		run(freeBehind)
+	}
+}
+
+func run(freeBehind bool) {
+	opts := ufsclust.RunA().Options()
+	opts.Engine.FreeBehind = freeBehind
+	opts.Mount.WriteLimit = 0
+	m, err := ufsclust.NewMachine(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var streamRate float64
+	var editorHits, editorLookups int64
+
+	err = m.Run(func(p *sim.Proc) {
+		// Lay down the video and the editor's working set.
+		video, err := m.Engine.Create(p, "/video.mjpg")
+		if err != nil {
+			log.Fatal(err)
+		}
+		chunk := make([]byte, 120<<10)
+		for off := int64(0); off < videoSize; off += int64(len(chunk)) {
+			video.Write(p, off, chunk)
+		}
+		video.Purge(p)
+
+		var hot []*ufsclust.File
+		small := make([]byte, hotSize)
+		for i := 0; i < hotFiles; i++ {
+			f, err := m.Engine.Create(p, fmt.Sprintf("/doc%d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			f.Write(p, 0, small)
+			f.Fsync(p)
+			hot = append(hot, f)
+		}
+		// Warm the editor's cache.
+		for _, f := range hot {
+			f.Read(p, 0, small)
+		}
+
+		// Editor process: periodically touches its files.
+		m.Sim.SpawnDaemon("editor", func(ep *sim.Proc) {
+			buf := make([]byte, 8192)
+			for {
+				ep.Sleep(200 * sim.Millisecond)
+				for _, f := range hot {
+					lk := m.VM.Stats.Lookups
+					h := m.VM.Stats.Hits + m.VM.Stats.Reclaims
+					f.Read(ep, 0, buf)
+					editorLookups += m.VM.Stats.Lookups - lk
+					editorHits += m.VM.Stats.Hits + m.VM.Stats.Reclaims - h
+				}
+			}
+		})
+
+		// The stream.
+		t0 := p.Now()
+		buf := make([]byte, 64<<10)
+		for off := int64(0); off < videoSize; off += int64(len(buf)) {
+			video.Read(p, off, buf)
+		}
+		streamRate = float64(videoSize) / 1024 / (p.Now() - t0).Seconds()
+		m.Sim.Stop() // the editor daemon would run forever
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hitRate := float64(editorHits) / float64(editorLookups) * 100
+	fmt.Printf("  free-behind %-5v: stream %4.0f KB/s, editor cache hit rate %3.0f%%, "+
+		"pageout daemon scanned %d pages, stream freed %d of its own pages\n",
+		freeBehind, streamRate, hitRate, m.VM.Stats.Scans, m.Engine.Stats.FreeBehinds)
+}

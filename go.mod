@@ -1,0 +1,3 @@
+module ufsclust
+
+go 1.22

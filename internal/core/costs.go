@@ -1,0 +1,40 @@
+// Package core implements the paper's contribution: the UFS data path
+// (rdwr / getpage / putpage) in two selectable forms — the legacy SunOS
+// 4.1 block-at-a-time engine with one-block read-ahead, and the SunOS
+// 4.1.1 clustering engine that transfers maxcontig-sized clusters,
+// delays writes until a cluster accumulates (or sequentiality breaks),
+// frees pages behind large sequential reads, and bounds per-file write
+// queueing with a counting semaphore. The two engines run over the same
+// on-disk format; only this code path differs, exactly as in the paper.
+package core
+
+// Costs is the instruction-count model for the kernel code path,
+// consumed by the cpu.Model. The defaults are calibrated so that, on the
+// default 12-MIPS machine, the legacy engine reproduces the paper's
+// intro claim ("about half of a 12MIPS CPU ... half of the bandwidth of
+// a 1.5MB/second disk") and the mmap CPU comparison of Figure 12 lands
+// near 3.4s vs 2.6s for a 16 MB read.
+type Costs struct {
+	Syscall     int64 // per read/write entry (uio setup, vnode dispatch)
+	MapBlock    int64 // per block map+unmap of the kernel window
+	Fault       int64 // page fault handling (as_fault through segmap)
+	GetPage     int64 // ufs_getpage body, excluding bmap
+	PutPage     int64 // ufs_putpage body
+	PageLookup  int64 // page cache hash lookup or insert
+	CopyPerByte int64 // kernel<->user copy, instructions per byte
+	ZeroPerByte int64 // page zero-fill for holes
+}
+
+// DefaultCosts returns the calibrated model.
+func DefaultCosts() Costs {
+	return Costs{
+		Syscall:     3000,
+		MapBlock:    2000,
+		Fault:       7000,
+		GetPage:     5000,
+		PutPage:     3500,
+		PageLookup:  400,
+		CopyPerByte: 3,
+		ZeroPerByte: 1,
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"ufsclust/internal/cpu"
+	"ufsclust/internal/sim"
+	"ufsclust/internal/ufs"
+	"ufsclust/internal/vm"
+)
+
+// Config selects which engine behaviours are active, mirroring the
+// paper's Figure 9 run matrix. The on-disk tuning (rotdelay, maxcontig)
+// lives in the superblock; these switches are the code-path half.
+type Config struct {
+	// Clustered selects the new getpage/putpage implementation. With
+	// maxcontig=1 in the superblock it degrades gracefully to one-block
+	// clusters (the paper's run B).
+	Clustered bool
+	// ReadAhead enables prefetching on detected sequential access (both
+	// engines have it; disabling isolates its effect in ablations).
+	ReadAhead bool
+	// FreeBehind releases pages behind large sequential reads when
+	// memory is low, turning LRU into MRU for streaming I/O.
+	FreeBehind bool
+	// FreeBehindMin is the file offset after which free-behind may
+	// engage ("at a large enough offset").
+	FreeBehindMin int64
+
+	// SkipBmapOnHit enables the Further Work "UFS_HOLE" optimization:
+	// when the requested page is already cached and the file has no
+	// holes, skip the bmap call that getpage otherwise makes purely to
+	// detect unbacked pages.
+	SkipBmapOnHit bool
+	// RandomClustering enables the Further Work idea of passing the
+	// request size down to getpage "as a hint to turn on clustering
+	// for what is apparently random access".
+	RandomClustering bool
+	// InodeDataCache enables the Further Work "data in the inode"
+	// idea: files smaller than InodeDataMax are cached in the in-core
+	// inode, so "the system could satisfy many requests directly from
+	// the inode instead of the page cache" — avoiding per-page
+	// fragmentation for the many files under 2 KB. In-core only; the
+	// on-disk format is untouched.
+	InodeDataCache bool
+
+	// Costs is the CPU model; zero value means DefaultCosts.
+	Costs Costs
+}
+
+// ConfigA..ConfigD return the code-path halves of the paper's Figure 9
+// runs. (The matching mkfs tunings are: A rotdelay 0 maxcontig 15; B-D
+// rotdelay 4ms maxcontig 1. The write limit is a mount option.)
+func ConfigA() Config {
+	return Config{Clustered: true, ReadAhead: true, FreeBehind: true, Costs: DefaultCosts()}
+}
+
+// ConfigB is the legacy SunOS 4.1 code plus the free-behind and
+// write-limit heuristics.
+func ConfigB() Config {
+	return Config{Clustered: false, ReadAhead: true, FreeBehind: true, Costs: DefaultCosts()}
+}
+
+// ConfigC is the legacy code plus only the write limit (set at mount).
+func ConfigC() Config {
+	return Config{Clustered: false, ReadAhead: true, FreeBehind: false, Costs: DefaultCosts()}
+}
+
+// ConfigD approximates stock SunOS 4.1.
+func ConfigD() Config { return ConfigC() }
+
+// Stats counts engine events.
+type Stats struct {
+	GetPages      int64 // getpage calls (faults reaching the file system)
+	PutPages      int64 // putpage calls
+	CacheHits     int64 // getpage satisfied without I/O
+	SyncReads     int64 // demand reads issued
+	AsyncReads    int64 // read-ahead reads issued
+	ReadBlocks    int64 // blocks moved by reads
+	WriteIOs      int64 // write requests issued
+	WriteBlocks   int64 // blocks moved by writes
+	Lies          int64 // delayed ("lied about") putpages
+	Pushes        int64 // delayed-window flushes
+	FreeBehinds   int64
+	ZeroFills     int64 // hole reads
+	WriteStalls   int64 // writes blocked on the per-file limit
+	DaemonPushes  int64 // pageouts initiated by the VM daemon
+	BmapSkips     int64 // bmap calls avoided by SkipBmapOnHit
+	HintClusters  int64 // random reads clustered via the size hint
+	InodeDataHits int64 // small-file reads served from the inode cache
+}
+
+// InodeDataMax is the size cap for the inode data cache ("many files
+// are small, less than 2KB").
+const InodeDataMax = 2048
+
+// Engine binds the data path to a mounted file system and VM system.
+type Engine struct {
+	Sim *sim.Sim
+	CPU *cpu.Model // may be nil (untimed tests)
+	VM  *vm.VM
+	FS  *ufs.Fs
+	Cfg Config
+
+	vnodes map[int32]*Vnode
+	Stats  Stats
+
+	// Hook, when non-nil, receives engine events: "sync" and "async"
+	// reads, "lie" (delayed putpage), and "push" (cluster write), with
+	// the starting logical block and block count. The figure tracer
+	// (internal/trace) uses it to render the paper's access-pattern
+	// tables from live execution.
+	Hook func(event string, lbn int64, blocks int)
+}
+
+func (e *Engine) hook(event string, lbn int64, blocks int) {
+	if e.Hook != nil {
+		e.Hook(event, lbn, blocks)
+	}
+}
+
+// NewEngine wires up an engine. The cluster size is the superblock's
+// maxcontig capped by the driver's maxphys.
+func NewEngine(s *sim.Sim, cpuModel *cpu.Model, vmSys *vm.VM, fs *ufs.Fs, cfg Config) *Engine {
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.FreeBehindMin == 0 {
+		cfg.FreeBehindMin = 128 << 10
+	}
+	return &Engine{Sim: s, CPU: cpuModel, VM: vmSys, FS: fs, Cfg: cfg, vnodes: make(map[int32]*Vnode)}
+}
+
+// maxClusterBlocks returns the effective cluster size in blocks.
+func (e *Engine) maxClusterBlocks() int {
+	mc := int(e.FS.SB.Maxcontig)
+	if mc < 1 {
+		mc = 1
+	}
+	if byPhys := e.FS.Drv.MaxPhys() / int(e.FS.SB.Bsize); mc > byPhys {
+		mc = byPhys
+	}
+	return mc
+}
+
+func (e *Engine) charge(p *sim.Proc, c cpu.Category, instr int64) {
+	if e.CPU != nil && p != nil && instr > 0 {
+		e.CPU.Use(p, c, instr)
+	}
+}
+
+// Vnode is the per-file object: the ufs inode plus engine state. It
+// implements vm.Object so the pageout daemon can write its dirty pages.
+type Vnode struct {
+	eng *Engine
+	IP  *ufs.Inode
+
+	// pending counts bytes of write I/O in flight for this file.
+	pending     int64
+	pendingWait sim.WaitQ
+
+	// seq tracks whether the current read pattern looks sequential.
+	seq bool
+
+	// inodeData caches the whole contents of a small file (<=
+	// InodeDataMax) when Config.InodeDataCache is on; nil otherwise or
+	// after invalidation.
+	inodeData []byte
+}
+
+// vnode returns (creating if needed) the vnode for an inode.
+func (e *Engine) vnode(ip *ufs.Inode) *Vnode {
+	if vn, ok := e.vnodes[ip.Ino]; ok {
+		return vn
+	}
+	vn := &Vnode{eng: e, IP: ip}
+	vn.pendingWait.Name = fmt.Sprintf("vnode.%d.pending", ip.Ino)
+	e.vnodes[ip.Ino] = vn
+	return vn
+}
+
+// File is an open file handle.
+type File struct {
+	eng *Engine
+	vn  *Vnode
+}
+
+// Open resolves path and returns a handle.
+func (e *Engine) Open(p *sim.Proc, path string) (*File, error) {
+	ip, err := e.FS.Namei(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{eng: e, vn: e.vnode(ip)}, nil
+}
+
+// Create makes a new file and returns a handle.
+func (e *Engine) Create(p *sim.Proc, path string) (*File, error) {
+	ip, err := e.FS.Create(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{eng: e, vn: e.vnode(ip)}, nil
+}
+
+// Remove unlinks path, first flushing and discarding any engine state
+// (delayed writes, cached pages) so a later file reusing the inode
+// number starts clean.
+func (e *Engine) Remove(p *sim.Proc, path string) error {
+	ip, err := e.FS.Namei(p, path)
+	if err != nil {
+		return err
+	}
+	if vn, ok := e.vnodes[ip.Ino]; ok {
+		f := &File{eng: e, vn: vn}
+		f.Purge(p)
+		delete(e.vnodes, ip.Ino)
+	}
+	e.FS.Iput(p, ip)
+	return e.FS.Remove(p, path)
+}
+
+// Size returns the current file length.
+func (f *File) Size() int64 { return f.vn.IP.D.Size }
+
+// Inode exposes the underlying inode (benchmarks inspect layout).
+func (f *File) Inode() *ufs.Inode { return f.vn.IP }
+
+// Fsync pushes any delayed writes and waits for all of this file's
+// write I/O to reach the platter.
+func (f *File) Fsync(p *sim.Proc) {
+	vn := f.vn
+	if vn.IP.Delaylen > 0 {
+		f.eng.push(p, vn, vn.IP.Delayoff, vn.IP.Delaylen, true)
+		vn.IP.Delayoff, vn.IP.Delaylen = 0, 0
+	}
+	for vn.pending > 0 {
+		p.Block(&vn.pendingWait)
+	}
+}
+
+// Purge flushes delayed writes and evicts every cached page of the
+// file: the "cold cache" primitive benchmarks use between a file's
+// creation and its measured read. It also resets the read predictors.
+func (f *File) Purge(p *sim.Proc) {
+	f.Fsync(p)
+	for _, pg := range f.eng.VM.ObjectPages(f.vn) {
+		pg.WaitUnbusy(p)
+		f.eng.VM.Destroy(pg)
+	}
+	f.vn.IP.Nextr, f.vn.IP.Nextrio = 0, 0
+	f.vn.seq = false
+	f.vn.inodeData = nil
+}
+
+// Truncate resizes the file, invalidating cached pages past the end.
+func (f *File) Truncate(p *sim.Proc, size int64) error {
+	f.vn.inodeData = nil
+	f.Fsync(p)
+	for _, pg := range f.eng.VM.ObjectPages(f.vn) {
+		if pg.Off >= size {
+			pg.WaitUnbusy(p)
+			f.eng.VM.Destroy(pg)
+		}
+	}
+	return f.eng.FS.Truncate(p, f.vn.IP, size)
+}
+
+// writeStarted accounts n bytes of write I/O entering the queue,
+// stalling on the per-file limit if one is set.
+func (vn *Vnode) writeStarted(p *sim.Proc, n int64) {
+	if vn.IP.WriteSem != nil {
+		if vn.IP.WriteSem.Value() < n {
+			vn.eng.Stats.WriteStalls++
+		}
+		vn.IP.WriteSem.P(p, n)
+	}
+	vn.pending += n
+}
+
+// writeDone releases the accounting from interrupt context.
+func (vn *Vnode) writeDone(n int64) {
+	if vn.IP.WriteSem != nil {
+		vn.IP.WriteSem.V(n)
+	}
+	vn.pending -= n
+	if vn.pending == 0 {
+		vn.pendingWait.WakeAll()
+	}
+}

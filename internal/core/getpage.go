@@ -1,0 +1,274 @@
+package core
+
+import (
+	"ufsclust/internal/cpu"
+	"ufsclust/internal/driver"
+	"ufsclust/internal/sim"
+	"ufsclust/internal/vm"
+)
+
+// GetPage is the fault path: return the page at byte offset off of vn,
+// reading (and possibly reading ahead) as the configured engine
+// dictates. The returned page is not busy and holds valid data.
+func (e *Engine) GetPage(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
+	return e.GetPageHint(p, vn, off, 1)
+}
+
+// GetPageHint is GetPage with the caller's total request size (in
+// blocks from off) passed down — the Further Work "random clustering"
+// hint, used only when Config.RandomClustering is on.
+func (e *Engine) GetPageHint(p *sim.Proc, vn *Vnode, off int64, hintBlocks int) *vm.Page {
+	e.Stats.GetPages++
+	e.charge(p, cpu.GetPage, e.Cfg.Costs.GetPage)
+	if e.Cfg.Clustered {
+		return e.getpageClustered(p, vn, off, hintBlocks)
+	}
+	return e.getpageLegacy(p, vn, off)
+}
+
+// noHoles conservatively reports whether the file certainly has no
+// holes: it holds at least as many fragments as its size needs.
+func noHoles(e *Engine, vn *Vnode) bool {
+	need := (vn.IP.D.Size + int64(e.FS.SB.Fsize) - 1) / int64(e.FS.SB.Fsize)
+	return int64(vn.IP.D.Blocks) >= need
+}
+
+// getpageLegacy is Figure 2: block-at-a-time with one-block read-ahead
+// driven by the nextr prediction.
+func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
+	sb := e.FS.SB
+	lbn := sb.Lblkno(off)
+
+	// bmap() to find disk location — called even for cached pages (the
+	// UFS_HOLE problem), unless the Further Work optimization knows the
+	// file has no holes.
+	var fsbn int32
+	var pg *vm.Page
+	var cached bool
+	if e.Cfg.SkipBmapOnHit && noHoles(e, vn) {
+		e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
+		pg, cached = e.VM.Lookup(vn, lbn*int64(sb.Bsize))
+		if cached {
+			e.Stats.BmapSkips++
+		}
+	}
+	if !cached {
+		var err error
+		fsbn, _, err = e.FS.Bmap(p, vn.IP, lbn)
+		if err != nil {
+			panic(err)
+		}
+		e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
+		pg, cached = e.VM.Lookup(vn, lbn*int64(sb.Bsize))
+	}
+	if cached {
+		e.Stats.CacheHits++
+	} else {
+		pg = e.startRead(p, vn, lbn, fsbn, 1, false)
+	}
+
+	// if (sequential I/O) start I/O for next page.
+	seq := lbn == vn.IP.Nextr
+	vn.seq = seq
+	if seq && e.Cfg.ReadAhead {
+		nlbn := lbn + 1
+		if nlbn*int64(sb.Bsize) < vn.IP.D.Size {
+			e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
+			if _, ok := e.VM.Lookup(vn, nlbn*int64(sb.Bsize)); !ok {
+				// do another bmap() if necessary.
+				nfsbn, _, err := e.FS.Bmap(p, vn.IP, nlbn)
+				if err == nil && nfsbn != 0 {
+					e.startRead(p, vn, nlbn, nfsbn, 1, true)
+				}
+			}
+		}
+	}
+
+	// if (first page was not in cache) wait for I/O to finish.
+	pg.WaitUnbusy(p)
+	// predict next I/O location.
+	vn.IP.Nextr = lbn + 1
+	return pg
+}
+
+// getpageClustered is Figure 6: transfer whole clusters and read ahead a
+// cluster at a time, tracked by nextrio.
+func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks int) *vm.Page {
+	sb := e.FS.SB
+	lbn := sb.Lblkno(off)
+
+	seq := lbn == vn.IP.Nextr
+	// The UFS_HOLE fast path: a cached page in a hole-free file needs
+	// no bmap at all. (Read-ahead decisions still work from nextrio.)
+	if e.Cfg.SkipBmapOnHit && !seq && noHoles(e, vn) {
+		e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
+		if pg, ok := e.VM.Lookup(vn, lbn*int64(sb.Bsize)); ok {
+			e.Stats.BmapSkips++
+			e.Stats.CacheHits++
+			vn.seq = false
+			pg.WaitUnbusy(p)
+			vn.IP.Nextr = lbn + 1
+			return pg
+		}
+	}
+
+	fsbn, contig, err := e.FS.Bmap(p, vn.IP, lbn)
+	if err != nil {
+		panic(err)
+	}
+	// The transfer must fit the driver: a cluster is at most
+	// min(maxcontig, maxphys/bsize) blocks.
+	if max := e.maxClusterBlocks(); contig > max {
+		contig = max
+	}
+
+	e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
+	vn.seq = seq
+	pg, cached := e.VM.Lookup(vn, lbn*int64(sb.Bsize))
+	if cached {
+		e.Stats.CacheHits++
+	} else {
+		// Demand-read the effective cluster when the access pattern is
+		// sequential; a random miss reads one block ("clustering is
+		// currently enabled only when sequential access is detected"),
+		// unless the random-clustering hint says the caller wants more.
+		n := contig
+		if !seq && lbn != 0 {
+			n = 1
+			if e.Cfg.RandomClustering && hintBlocks > 1 {
+				n = hintBlocks
+				if n > contig {
+					n = contig
+				}
+				e.Stats.HintClusters++
+			}
+		}
+		pg = e.startRead(p, vn, lbn, fsbn, n, false)
+	}
+	if e.Cfg.ReadAhead {
+		switch {
+		case !cached && !seq && lbn != 0:
+			// Random miss: restart the read-ahead window past this
+			// cluster.
+			vn.IP.Nextrio = lbn + int64(contig)
+		case lbn+int64(contig) == vn.IP.Nextrio || (lbn == 0 && vn.IP.Nextrio == 0):
+			// We are at the start of the last prefetched cluster (or
+			// at the very beginning): prefetch the next cluster. "It
+			// remembers where to start the next read ahead by setting
+			// nextrio to the current location plus the size of the
+			// current cluster."
+			start := vn.IP.Nextrio
+			if start == 0 {
+				start = lbn + int64(contig)
+			}
+			if start*int64(sb.Bsize) < vn.IP.D.Size {
+				rfsbn, rcontig, err := e.FS.Bmap(p, vn.IP, start)
+				if max := e.maxClusterBlocks(); rcontig > max {
+					rcontig = max
+				}
+				if err == nil && rfsbn != 0 {
+					e.startRead(p, vn, start, rfsbn, rcontig, true)
+					vn.IP.Nextrio = start + int64(rcontig)
+				}
+			}
+		}
+	}
+
+	pg.WaitUnbusy(p)
+	vn.IP.Nextr = lbn + 1
+	return pg
+}
+
+// startRead allocates pages for blocks [lbn, lbn+nblocks) that are not
+// already cached and issues read I/O for them, splitting at cache hits
+// and at the end of the file. It returns the (busy) page for lbn; with
+// async true it does not wait for anything. Holes zero-fill without I/O.
+func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblocks int, async bool) *vm.Page {
+	sb := e.FS.SB
+	if async {
+		e.Stats.AsyncReads++
+		e.hook("async", lbn, nblocks)
+	} else {
+		e.Stats.SyncReads++
+		e.hook("sync", lbn, nblocks)
+	}
+
+	if fsbn == 0 {
+		// A hole: supply zeros, no backing I/O.
+		e.Stats.ZeroFills++
+		pg := e.VM.Alloc(p, vn, lbn*int64(sb.Bsize))
+		e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
+		e.charge(p, cpu.Copy, e.Cfg.Costs.ZeroPerByte*int64(sb.Bsize))
+		for i := range pg.Data {
+			pg.Data[i] = 0
+		}
+		pg.Unbusy()
+		return pg
+	}
+
+	// Walk the extent, grouping consecutive uncached blocks into runs
+	// and issuing one transfer per run. Cached blocks (e.g. left over
+	// from the write that created the file, or from an overlapping
+	// prefetch) are skipped.
+	var first *vm.Page
+	var pages []*vm.Page
+	var sizes []int
+	runStart := -1
+	bytes := 0
+	flush := func() {
+		if len(pages) == 0 {
+			return
+		}
+		// One transfer for the run, scattered to the pages at
+		// completion (the hardware would use a page list; the copy in
+		// the handler is simulation bookkeeping with no simulated
+		// cost).
+		xfer := make([]byte, bytes)
+		e.Stats.ReadBlocks += int64(len(pages))
+		pgs, szs := pages, sizes
+		e.FS.Drv.Strategy(p, &driver.Buf{
+			Blkno: sb.FsbToDb(fsbn + int32(runStart)*sb.Frag),
+			Data:  xfer,
+			Iodone: func(b *driver.Buf) {
+				off := 0
+				for i, pg := range pgs {
+					n := szs[i]
+					copy(pg.Data[:n], b.Data[off:off+n])
+					for j := n; j < len(pg.Data); j++ {
+						pg.Data[j] = 0
+					}
+					off += n
+					pg.ClearDirty()
+					pg.Unbusy()
+				}
+			},
+		})
+		pages, sizes, bytes, runStart = nil, nil, 0, -1
+	}
+	for i := 0; i < nblocks; i++ {
+		bl := lbn + int64(i)
+		bsize := sb.BlkSize(vn.IP.D.Size, bl)
+		if bsize <= 0 {
+			break
+		}
+		if pg, ok := e.VM.Lookup(vn, bl*int64(sb.Bsize)); ok {
+			if i == 0 {
+				first = pg
+			}
+			flush()
+			continue
+		}
+		pg := e.VM.Alloc(p, vn, bl*int64(sb.Bsize))
+		if i == 0 {
+			first = pg
+		}
+		if runStart < 0 {
+			runStart = i
+		}
+		pages = append(pages, pg)
+		sizes = append(sizes, bsize)
+		bytes += bsize
+	}
+	flush()
+	return first
+}

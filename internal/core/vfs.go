@@ -1,0 +1,44 @@
+package core
+
+import (
+	"ufsclust/internal/sim"
+	"ufsclust/internal/vfs"
+	"ufsclust/internal/vm"
+)
+
+// Compile-time proof of the paper's architectural point: both engine
+// configurations present exactly the vnode interfaces — no interface
+// change was needed for clustering.
+var (
+	_ vfs.File  = (*File)(nil)
+	_ vm.Object = (*Vnode)(nil)
+)
+
+// vfsAdapter exposes the engine as a vfs.FS.
+type vfsAdapter struct{ e *Engine }
+
+// VFS returns the engine's vnode-layer interface.
+func (e *Engine) VFS() vfs.FS { return vfsAdapter{e} }
+
+// Open implements vfs.FS.
+func (a vfsAdapter) Open(p *sim.Proc, path string) (vfs.File, error) {
+	f, err := a.e.Open(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Create implements vfs.FS.
+func (a vfsAdapter) Create(p *sim.Proc, path string) (vfs.File, error) {
+	f, err := a.e.Create(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Remove implements vfs.FS.
+func (a vfsAdapter) Remove(p *sim.Proc, path string) error {
+	return a.e.Remove(p, path)
+}

@@ -1,0 +1,117 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"ufsclust/internal/sim"
+)
+
+func TestInstrTime(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, 12) // 12 MIPS
+	// 12 million instructions = 1 second.
+	if got := m.InstrTime(12_000_000); got != sim.Second {
+		t.Fatalf("InstrTime(12M) = %v, want 1s", got)
+	}
+	if got := m.InstrTime(12_000); got != sim.Millisecond {
+		t.Fatalf("InstrTime(12k) = %v, want 1ms", got)
+	}
+}
+
+func TestUseAdvancesClockAndAccounts(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, 12)
+	s.Spawn("p", func(p *sim.Proc) {
+		m.Use(p, Copy, 24_000)
+		m.Use(p, Copy, 12_000)
+		m.Use(p, Bmap, 12_000)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 4*sim.Millisecond {
+		t.Fatalf("clock = %v, want 4ms", s.Now())
+	}
+	bk := m.Buckets()
+	if bk[Copy].Count != 2 || bk[Copy].Instr != 36_000 {
+		t.Fatalf("copy bucket %+v", bk[Copy])
+	}
+	if m.SystemTime() != 4*sim.Millisecond {
+		t.Fatalf("system time = %v", m.SystemTime())
+	}
+}
+
+func TestSingleCPUSerializes(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, 12)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		s.Spawn("p", func(p *sim.Proc) {
+			m.Use(p, Misc, 12_000) // 1ms
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != sim.Millisecond || ends[1] != 2*sim.Millisecond {
+		t.Fatalf("ends = %v; CPU did not serialize", ends)
+	}
+}
+
+func TestInterruptChargeDoesNotBlock(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, 12)
+	s.Spawn("p", func(p *sim.Proc) {
+		m.ChargeInterrupt(Interrupt, 12_000)
+		if p.Now() != 0 {
+			t.Error("interrupt charge advanced the caller's clock")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.SystemTime() != sim.Millisecond {
+		t.Fatalf("system time = %v, want 1ms", m.SystemTime())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, 12)
+	s.Spawn("p", func(p *sim.Proc) {
+		m.Use(p, Misc, 12_000) // 1ms busy
+		p.Sleep(3 * sim.Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := m.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestReportAndReset(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, 12)
+	s.Spawn("p", func(p *sim.Proc) {
+		m.Use(p, GetPage, 5000)
+		m.Use(p, Copy, 50000)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if !strings.Contains(rep, "copy") || !strings.Contains(rep, "getpage") {
+		t.Fatalf("report missing categories:\n%s", rep)
+	}
+	// Largest first.
+	if strings.Index(rep, "copy") > strings.Index(rep, "getpage") {
+		t.Fatalf("report not sorted by time:\n%s", rep)
+	}
+	m.Reset()
+	if m.SystemTime() != 0 {
+		t.Fatal("reset did not clear accounting")
+	}
+}

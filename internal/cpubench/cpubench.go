@@ -1,0 +1,123 @@
+// Package cpubench reproduces Figure 12, the system-CPU comparison:
+// read a 16 MB file through the mmap interface — chosen because "the
+// IObench CPU times are dominated by the copy time"; mmap avoids the
+// copy so the file system's own overhead shows — and report the CPU
+// seconds consumed. The paper measured 3.4 s for the 4.1 UFS with
+// rotdelays and 2.6 s for the 4.1.1 clustering UFS without, a ~25 %
+// saving. It also reproduces the intro's sizing claim: "about half of a
+// 12MIPS CPU was used to get half of the disk bandwidth of a
+// 1.5MB/second disk" for the legacy read path with copies.
+package cpubench
+
+import (
+	"fmt"
+
+	"ufsclust"
+	"ufsclust/internal/sim"
+)
+
+// Result is one row of Figure 12.
+type Result struct {
+	Label    string
+	FileMB   int
+	CPUTime  sim.Time // system CPU charged
+	Elapsed  sim.Time
+	RateKBs  float64
+	CPUShare float64 // CPUTime / Elapsed
+	Report   string  // per-category breakdown
+}
+
+// MmapRead runs the Figure 12 measurement for one configuration.
+func MmapRead(rc ufsclust.RunConfig, fileMB int) (Result, error) {
+	m, err := ufsclust.NewMachineForRun(rc)
+	if err != nil {
+		return Result{}, err
+	}
+	size := int64(fileMB) << 20
+	res := Result{Label: rc.Name, FileMB: fileMB}
+	err = m.Run(func(p *sim.Proc) {
+		f, err := m.Engine.Create(p, "/mmapbench")
+		if err != nil {
+			return
+		}
+		chunk := make([]byte, 64<<10)
+		for off := int64(0); off < size; off += int64(len(chunk)) {
+			f.Write(p, off, chunk)
+		}
+		f.Purge(p)
+		m.ResetStats()
+		t0 := p.Now()
+		f.ReadMmap(p, 0, size)
+		res.Elapsed = p.Now() - t0
+		res.CPUTime = m.CPU.SystemTime()
+		res.Report = m.CPU.Report()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.RateKBs = float64(size) / 1024 / res.Elapsed.Seconds()
+	res.CPUShare = float64(res.CPUTime) / float64(res.Elapsed)
+	return res, nil
+}
+
+// ReadWithCopy runs the sequential read through the normal read(2) path
+// (copies included) and reports CPU share — the intro's "half of a
+// 12MIPS CPU" observation for the legacy system.
+func ReadWithCopy(rc ufsclust.RunConfig, fileMB int) (Result, error) {
+	m, err := ufsclust.NewMachineForRun(rc)
+	if err != nil {
+		return Result{}, err
+	}
+	size := int64(fileMB) << 20
+	res := Result{Label: rc.Name, FileMB: fileMB}
+	err = m.Run(func(p *sim.Proc) {
+		f, err := m.Engine.Create(p, "/readbench")
+		if err != nil {
+			return
+		}
+		chunk := make([]byte, 64<<10)
+		for off := int64(0); off < size; off += int64(len(chunk)) {
+			f.Write(p, off, chunk)
+		}
+		f.Purge(p)
+		m.ResetStats()
+		t0 := p.Now()
+		buf := make([]byte, 8192)
+		for off := int64(0); off < size; off += 8192 {
+			f.Read(p, off, buf)
+		}
+		res.Elapsed = p.Now() - t0
+		res.CPUTime = m.CPU.SystemTime()
+		res.Report = m.CPU.Report()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.RateKBs = float64(size) / 1024 / res.Elapsed.Seconds()
+	res.CPUShare = float64(res.CPUTime) / float64(res.Elapsed)
+	return res, nil
+}
+
+// Figure12 runs both rows of the figure and returns (new, old).
+func Figure12(fileMB int) (Result, Result, error) {
+	newRes, err := MmapRead(ufsclust.RunA(), fileMB)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	oldRes, err := MmapRead(ufsclust.RunD(), fileMB)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	newRes.Label = "4.1.1 UFS, no rotdelays, mmap read"
+	oldRes.Label = "4.1 UFS, rotdelays, mmap read"
+	return newRes, oldRes, nil
+}
+
+// Format renders the two rows like the paper's figure.
+func Format(newRes, oldRes Result) string {
+	return fmt.Sprintf("%-6s %s\n%5.1fs %s\n%5.1fs %s\n(new/old CPU ratio %.2f; paper: 2.6/3.4 = 0.76)\n",
+		"CPU", "Notes",
+		newRes.CPUTime.Seconds(), newRes.Label+fmt.Sprintf(", %dMB", newRes.FileMB),
+		oldRes.CPUTime.Seconds(), oldRes.Label+fmt.Sprintf(", %dMB", oldRes.FileMB),
+		float64(newRes.CPUTime)/float64(oldRes.CPUTime))
+}

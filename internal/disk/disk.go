@@ -1,0 +1,399 @@
+package disk
+
+import (
+	"math"
+
+	"ufsclust/internal/sim"
+)
+
+// Params are the mechanical and electronic characteristics of a drive.
+type Params struct {
+	Geom *Geometry
+
+	SeekMin    Time // single-cylinder seek (including settle)
+	SeekMax    Time // full-stroke seek
+	HeadSwitch Time // head-to-head switch on the same cylinder
+
+	// SkewSectors is the track skew: logical sector 0 of each successive
+	// track is rotated by this many sector positions so that a head
+	// switch completes before the next logical sector arrives. Without
+	// skew, contiguous multi-track transfers would lose a full rotation
+	// at every track boundary.
+	SkewSectors int
+
+	// CmdOverhead is the fixed controller/command time charged per
+	// request (bus arbitration, command decode).
+	CmdOverhead Time
+
+	// CmdJitter adds a uniform random [0, CmdJitter) to each request's
+	// command overhead, modeling the variable controller and host
+	// latency of the era. It is what occasionally makes a
+	// rotdelay-placed file system miss its gap window — without it the
+	// simulated legacy system is unrealistically punctual. Drawn from
+	// the simulation's seeded RNG, so runs stay reproducible.
+	CmdJitter Time
+
+	// TrackBuffer enables the on-board one-track read cache. It is a
+	// write-through cache: writes always pay full mechanical cost (the
+	// paper: promising stability for buffered writes would be a lie).
+	TrackBuffer bool
+
+	// BusRate is the electronics transfer rate in bytes/second used for
+	// track-buffer hits.
+	BusRate int64
+}
+
+// DefaultParams returns values representative of a 1990 3.5" SCSI drive
+// and calibrated against the paper's numbers (4 ms block time, ~1.5 MB/s
+// deliverable bandwidth).
+func DefaultParams() Params {
+	return Params{
+		Geom:        DefaultGeometry(),
+		SeekMin:     2500 * Microsecond,
+		SeekMax:     30 * Millisecond,
+		HeadSwitch:  1 * Millisecond,
+		SkewSectors: 6,
+		CmdOverhead: 700 * Microsecond,
+		CmdJitter:   3900 * Microsecond,
+		TrackBuffer: true,
+		BusRate:     4 << 20, // 4 MB/s SCSI-1 sync
+	}
+}
+
+// Request is one I/O operation presented to the drive. The driver layer
+// (internal/driver) queues and sorts these; the drive itself services
+// them in arrival order.
+type Request struct {
+	Sector int64
+	Count  int // sectors
+	Write  bool
+	// Data holds the bytes to write, or receives the bytes read; its
+	// length must be Count*SectorSize.
+	Data []byte
+	// Done is invoked in scheduler context when the operation completes
+	// (the "interrupt"). May be nil.
+	Done func()
+
+	queued Time
+}
+
+// Stats accumulates drive-level accounting.
+type Stats struct {
+	Reads, Writes               int64
+	SectorsRead, SectorsWritten int64
+	SeekCount                   int64
+	SeekTime                    Time
+	RotWait                     Time  // rotational latency waited
+	XferTime                    Time  // mechanical transfer time
+	BusTime                     Time  // track-buffer (electronic) transfer time
+	BufHits, BufMisses          int64 // per segment, reads only
+	BusyTime                    Time  // total time servicing requests
+	QueueWait                   Time  // time requests spent queued
+}
+
+// BytesMoved returns total bytes transferred in either direction.
+func (st *Stats) BytesMoved() int64 {
+	return (st.SectorsRead + st.SectorsWritten) * SectorSize
+}
+
+// Disk is a simulated drive. Submit requests with Submit; a dedicated
+// simulation process services them one at a time.
+type Disk struct {
+	P    Params
+	Sim  *sim.Sim
+	name string
+
+	// mechanical state
+	curCyl   int
+	curTrack int64
+
+	// track buffer state: the track being cached, the time its fill
+	// began, and the logical in-track sector the fill began at.
+	tbTrack     int64
+	tbValid     bool
+	tbFillStart Time
+	tbFillSect  int
+
+	// image is the sparse platter content, in 64 KB chunks.
+	image map[int64][]byte
+
+	q     []*Request
+	qWait sim.WaitQ
+
+	Stats Stats
+}
+
+const chunkSectors = 128 // 64 KB image chunks
+
+// New creates a drive and starts its service process on s.
+func New(s *sim.Sim, name string, p Params) *Disk {
+	if p.Geom == nil {
+		p.Geom = DefaultGeometry()
+	}
+	d := &Disk{P: p, Sim: s, name: name, image: make(map[int64][]byte)}
+	d.qWait.Name = name + ".queue"
+	s.SpawnDaemon(name, d.serve)
+	return d
+}
+
+// Name returns the drive's name.
+func (d *Disk) Name() string { return d.name }
+
+// Geom returns the drive geometry.
+func (d *Disk) Geom() *Geometry { return d.P.Geom }
+
+// QueueLen returns the number of requests waiting (not including one in
+// service).
+func (d *Disk) QueueLen() int { return len(d.q) }
+
+// Submit hands a request to the drive. Safe from process or scheduler
+// context. Completion is reported through r.Done.
+func (d *Disk) Submit(r *Request) {
+	if r.Count <= 0 || r.Sector < 0 || r.Sector+int64(r.Count) > d.P.Geom.TotalSectors() {
+		panic("disk: request out of range")
+	}
+	if len(r.Data) != r.Count*SectorSize {
+		panic("disk: request data length mismatch")
+	}
+	r.queued = d.Sim.Now()
+	d.q = append(d.q, r)
+	d.qWait.WakeAll()
+}
+
+// IO submits r and blocks the calling process until it completes. It is
+// a convenience for code (and tests) that has no driver layer.
+func (d *Disk) IO(p *sim.Proc, r *Request) {
+	done := false
+	var q sim.WaitQ
+	prev := r.Done
+	r.Done = func() {
+		done = true
+		q.WakeAll()
+		if prev != nil {
+			prev()
+		}
+	}
+	d.Submit(r)
+	for !done {
+		p.Block(&q)
+	}
+}
+
+// serve is the drive's service loop.
+func (d *Disk) serve(p *sim.Proc) {
+	for {
+		for len(d.q) == 0 {
+			p.Block(&d.qWait)
+		}
+		r := d.q[0]
+		copy(d.q, d.q[1:])
+		d.q = d.q[:len(d.q)-1]
+
+		start := p.Now()
+		d.Stats.QueueWait += start - r.queued
+		d.service(p, r)
+		d.Stats.BusyTime += p.Now() - start
+		if r.Write {
+			d.Stats.Writes++
+			d.Stats.SectorsWritten += int64(r.Count)
+		} else {
+			d.Stats.Reads++
+			d.Stats.SectorsRead += int64(r.Count)
+		}
+		if r.Done != nil {
+			// Deliver the completion as a zero-delay event so it runs
+			// in scheduler context, like an interrupt, rather than on
+			// the drive's own stack.
+			done := r.Done
+			d.Sim.After(0, done)
+		}
+	}
+}
+
+// service performs one request, sleeping through its mechanical phases.
+func (d *Disk) service(p *sim.Proc, r *Request) {
+	cmd := d.P.CmdOverhead
+	if d.P.CmdJitter > 0 {
+		cmd += Time(d.Sim.Rand.Int63n(int64(d.P.CmdJitter)))
+	}
+	p.Sleep(cmd)
+	sector := r.Sector
+	remain := r.Count
+	buf := r.Data
+	for remain > 0 {
+		n := d.P.Geom.SectorsLeftOnTrack(sector)
+		if n > remain {
+			n = remain
+		}
+		d.segment(p, sector, n, buf[:n*SectorSize], r.Write)
+		buf = buf[n*SectorSize:]
+		sector += int64(n)
+		remain -= n
+	}
+}
+
+// physPos maps a logical in-track sector to its physical rotational
+// position, applying track skew.
+func (d *Disk) physPos(c CHS) int {
+	spt := d.P.Geom.Zones[c.Zone].SPT
+	track := d.P.Geom.Track(c)
+	return int((int64(c.Sector) + track*int64(d.P.SkewSectors)) % int64(spt))
+}
+
+// segment services n sectors that lie on a single track.
+func (d *Disk) segment(p *sim.Proc, sector int64, n int, buf []byte, write bool) {
+	g := d.P.Geom
+	c := g.Locate(sector)
+	track := g.Track(c)
+	st := g.SectorTime(c.Zone)
+	spt := g.Zones[c.Zone].SPT
+
+	if !write && d.P.TrackBuffer && d.tbValid && d.tbTrack == track {
+		// Track-buffer hit: wait until the background fill has passed
+		// the last sector we need, then transfer at bus rate.
+		d.Stats.BufHits++
+		last := c.Sector + n - 1
+		avail := d.tbFillStart + Time(((last-d.tbFillSect)+spt)%spt+1)*st
+		bus := Time(int64(n) * SectorSize * int64(Second) / d.P.BusRate)
+		// The bus transfer overlaps the background fill: data streams
+		// out as it arrives, so the segment completes at whichever is
+		// later — fill of the last sector, or pure bus time.
+		end := p.Now() + bus
+		if avail > end {
+			end = avail
+		}
+		p.Sleep(end - p.Now())
+		d.Stats.BusTime += bus
+		d.readImage(sector, buf)
+		return
+	}
+	if !write {
+		d.Stats.BufMisses++
+	}
+
+	// Seek.
+	if c.Cyl != d.curCyl {
+		t := d.seekTime(d.curCyl, c.Cyl)
+		p.Sleep(t)
+		d.Stats.SeekCount++
+		d.Stats.SeekTime += t
+		d.curCyl = c.Cyl
+	} else if track != d.curTrack {
+		// Head switch within the cylinder.
+		p.Sleep(d.P.HeadSwitch)
+	}
+	d.curTrack = track
+
+	// Rotational latency: wait for the physical position of the first
+	// sector to come under the head. Position is derived from absolute
+	// virtual time, so the platter keeps spinning while the drive is
+	// idle or seeking.
+	target := d.physPos(c)
+	tick := (p.Now() + st - 1) / st // next sector boundary index
+	cur := int(tick % Time(spt))
+	delta := (target - cur + spt) % spt
+	xferStart := (tick + Time(delta)) * st
+	if wait := xferStart - p.Now(); wait > 0 {
+		p.Sleep(wait)
+		d.Stats.RotWait += wait
+	}
+
+	// Media transfer.
+	xfer := Time(n) * st
+	p.Sleep(xfer)
+	d.Stats.XferTime += xfer
+
+	if write {
+		d.writeImage(sector, buf)
+		// Write-through: a write to the buffered track invalidates the
+		// buffer (conservative; keeps "the track buffer helps only
+		// reads" true, as the paper observes).
+		if d.tbValid && d.tbTrack == track {
+			d.tbValid = false
+		}
+		return
+	}
+	d.readImage(sector, buf)
+	if d.P.TrackBuffer {
+		// The drive keeps reading the rest of the track into its
+		// buffer; sectors become available in rotational order from
+		// the start of this transfer.
+		d.tbValid = true
+		d.tbTrack = track
+		d.tbFillStart = xferStart
+		d.tbFillSect = c.Sector
+	}
+}
+
+// seekTime models arm movement with a square-root profile: SeekMin for a
+// single-cylinder step (dominated by settle time) rising to SeekMax for
+// a full stroke. Short sorted steps are much cheaper than random
+// intra-file hops — the property disksort exploits.
+func (d *Disk) seekTime(from, to int) Time {
+	if from == to {
+		return 0
+	}
+	dist := from - to
+	if dist < 0 {
+		dist = -dist
+	}
+	maxDist := d.P.Geom.Cylinders() - 1
+	frac := math.Sqrt(float64(dist-1) / float64(maxDist-1))
+	return d.P.SeekMin + Time(frac*float64(d.P.SeekMax-d.P.SeekMin))
+}
+
+// --- image (platter content) access -------------------------------------
+
+// ReadImage copies platter bytes without consuming simulated time. It is
+// the "offline" access path used by mkfs, fsck, and tests.
+func (d *Disk) ReadImage(sector int64, buf []byte) { d.readImage(sector, buf) }
+
+// WriteImage stores platter bytes without consuming simulated time.
+func (d *Disk) WriteImage(sector int64, data []byte) { d.writeImage(sector, data) }
+
+func (d *Disk) readImage(sector int64, buf []byte) {
+	if len(buf)%SectorSize != 0 {
+		panic("disk: image access not sector aligned")
+	}
+	off := sector * SectorSize
+	for len(buf) > 0 {
+		chunk := off / (chunkSectors * SectorSize)
+		coff := off % (chunkSectors * SectorSize)
+		n := chunkSectors*SectorSize - coff
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if c, ok := d.image[chunk]; ok {
+			copy(buf[:n], c[coff:coff+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+func (d *Disk) writeImage(sector int64, data []byte) {
+	if len(data)%SectorSize != 0 {
+		panic("disk: image access not sector aligned")
+	}
+	off := sector * SectorSize
+	for len(data) > 0 {
+		chunk := off / (chunkSectors * SectorSize)
+		coff := off % (chunkSectors * SectorSize)
+		n := chunkSectors*SectorSize - coff
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		c, ok := d.image[chunk]
+		if !ok {
+			c = make([]byte, chunkSectors*SectorSize)
+			d.image[chunk] = c
+		}
+		copy(c[coff:coff+n], data[:n])
+		data = data[n:]
+		off += n
+	}
+}

@@ -1,0 +1,113 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Image file format: a compact sparse dump of the platter so mkfs/fsck
+// can operate on real files. Layout (little endian):
+//
+//	magic   [8]byte  "UFSCIMG1"
+//	zones   int32    number of geometry zones
+//	heads   int32
+//	rpm     int32
+//	per zone: cylinders int32, spt int32
+//	chunks  int64    number of 64 KB chunks present
+//	per chunk: index int64, data [chunkSectors*SectorSize]byte
+var imageMagic = [8]byte{'U', 'F', 'S', 'C', 'I', 'M', 'G', '1'}
+
+// DumpImage writes the platter contents and geometry to w.
+func (d *Disk) DumpImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	g := d.P.Geom
+	hdr := []int32{int32(len(g.Zones)), int32(g.Heads), int32(g.RPM)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, z := range g.Zones {
+		if err := binary.Write(bw, binary.LittleEndian, int32(z.Cylinders)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int32(z.SPT)); err != nil {
+			return err
+		}
+	}
+	keys := make([]int64, 0, len(d.image))
+	for k := range d.image {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := binary.Write(bw, binary.LittleEndian, k); err != nil {
+			return err
+		}
+		if _, err := bw.Write(d.image[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadImage replaces the platter contents and geometry from a dump
+// written by DumpImage. The disk's mechanical parameters are retained;
+// only geometry and data change.
+func (d *Disk) LoadImage(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return err
+	}
+	if magic != imageMagic {
+		return fmt.Errorf("disk: bad image magic %q", magic)
+	}
+	var nz, heads, rpm int32
+	for _, p := range []*int32{&nz, &heads, &rpm} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	if nz <= 0 || nz > 64 {
+		return fmt.Errorf("disk: implausible zone count %d", nz)
+	}
+	zones := make([]Zone, nz)
+	for i := range zones {
+		var cyl, spt int32
+		if err := binary.Read(br, binary.LittleEndian, &cyl); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &spt); err != nil {
+			return err
+		}
+		zones[i] = Zone{Cylinders: int(cyl), SPT: int(spt)}
+	}
+	d.P.Geom = NewGeometry(int(heads), int(rpm), zones...)
+	var n int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	d.image = make(map[int64][]byte, n)
+	for i := int64(0); i < n; i++ {
+		var k int64
+		if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+			return err
+		}
+		buf := make([]byte, chunkSectors*SectorSize)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		d.image[k] = buf
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package iobench reimplements the paper's IObench workload: sequential
+// and random reads, writes, and updates of a large file through the file
+// system, reported in KB/second of virtual time. The five I/O types are
+// named as in Figure 10: the first letter means File system, the second
+// Sequential or Random, the third Read, Write, or Update ("in the update
+// case the file's blocks have already been allocated").
+package iobench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ufsclust"
+	"ufsclust/internal/sim"
+)
+
+// Kind is one IObench I/O type.
+type Kind string
+
+// The five I/O types of Figure 10.
+const (
+	FSR Kind = "FSR" // sequential read
+	FSU Kind = "FSU" // sequential update
+	FSW Kind = "FSW" // sequential write (fresh allocation)
+	FRR Kind = "FRR" // random read
+	FRU Kind = "FRU" // random update
+)
+
+// Kinds returns the paper's column order.
+func Kinds() []Kind { return []Kind{FSR, FSU, FSW, FRR, FRU} }
+
+// Params sizes a benchmark run. The defaults are the paper's hardware
+// constraints: a 16 MB file (twice physical memory) moved 8 KB at a
+// time.
+type Params struct {
+	FileMB    int   // file size; default 16
+	IOSize    int   // bytes per read/write call; default 8192
+	RandomOps int   // operations in random phases; default file/IOSize
+	Seed      int64 // workload RNG seed
+	MemBytes  int64 // machine memory; default 8 MB
+}
+
+func (p Params) withDefaults() Params {
+	if p.FileMB == 0 {
+		p.FileMB = 16
+	}
+	if p.IOSize == 0 {
+		p.IOSize = 8192
+	}
+	if p.RandomOps == 0 {
+		p.RandomOps = p.FileMB << 20 / p.IOSize
+	}
+	return p
+}
+
+// Result is one cell of Figure 10.
+type Result struct {
+	Run     string
+	Kind    Kind
+	Bytes   int64
+	Elapsed sim.Time
+	CPUTime sim.Time
+}
+
+// RateKBs returns the transfer rate in KB/second (the paper's unit).
+func (r Result) RateKBs() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Elapsed.Seconds()
+}
+
+// Run executes one I/O type under one run configuration on a fresh
+// machine and returns the measured cell.
+func Run(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, error) {
+	prm = prm.withDefaults()
+	opts := rc.Options()
+	opts.Seed = prm.Seed + 1
+	opts.MemBytes = prm.MemBytes
+	m, err := ufsclust.NewMachine(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	size := int64(prm.FileMB) << 20
+	res := Result{Run: rc.Name, Kind: kind}
+
+	var runErr error
+	err = m.Run(func(p *sim.Proc) {
+		rng := m.Sim.Rand
+		chunk := make([]byte, prm.IOSize)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+
+		// Setup: all kinds except FSW need a preallocated file.
+		var f *ufsclust.File
+		if kind == FSW {
+			f, runErr = m.Engine.Create(p, "/iobench")
+			if runErr != nil {
+				return
+			}
+		} else {
+			f, runErr = m.Engine.Create(p, "/iobench")
+			if runErr != nil {
+				return
+			}
+			for off := int64(0); off < size; off += int64(prm.IOSize) {
+				if _, runErr = f.Write(p, off, chunk); runErr != nil {
+					return
+				}
+			}
+			f.Purge(p)
+		}
+		m.ResetStats()
+		t0 := p.Now()
+
+		switch kind {
+		case FSR:
+			for off := int64(0); off < size; off += int64(prm.IOSize) {
+				if _, runErr = f.Read(p, off, chunk); runErr != nil {
+					return
+				}
+			}
+			res.Bytes = size
+		case FSU, FSW:
+			for off := int64(0); off < size; off += int64(prm.IOSize) {
+				if _, runErr = f.Write(p, off, chunk); runErr != nil {
+					return
+				}
+			}
+			f.Fsync(p)
+			res.Bytes = size
+		case FRR:
+			nblocks := size / int64(prm.IOSize)
+			for i := 0; i < prm.RandomOps; i++ {
+				off := rng.Int63n(nblocks) * int64(prm.IOSize)
+				if _, runErr = f.Read(p, off, chunk); runErr != nil {
+					return
+				}
+			}
+			res.Bytes = int64(prm.RandomOps) * int64(prm.IOSize)
+		case FRU:
+			nblocks := size / int64(prm.IOSize)
+			for i := 0; i < prm.RandomOps; i++ {
+				off := rng.Int63n(nblocks) * int64(prm.IOSize)
+				if _, runErr = f.Write(p, off, chunk); runErr != nil {
+					return
+				}
+			}
+			f.Fsync(p)
+			res.Bytes = int64(prm.RandomOps) * int64(prm.IOSize)
+		default:
+			runErr = fmt.Errorf("iobench: unknown kind %q", kind)
+			return
+		}
+		res.Elapsed = p.Now() - t0
+		res.CPUTime = m.CPU.SystemTime()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return res, nil
+}
+
+// Table is a full Figure 10: rows are runs, columns I/O types.
+type Table struct {
+	Cells map[string]map[Kind]Result
+	Order []string
+}
+
+// RunAll executes every (run, kind) pair.
+func RunAll(runs []ufsclust.RunConfig, kinds []Kind, prm Params) (*Table, error) {
+	t := &Table{Cells: make(map[string]map[Kind]Result)}
+	for _, rc := range runs {
+		t.Order = append(t.Order, rc.Name)
+		t.Cells[rc.Name] = make(map[Kind]Result)
+		for _, k := range kinds {
+			res, err := Run(rc, k, prm)
+			if err != nil {
+				return nil, fmt.Errorf("run %s %s: %w", rc.Name, k, err)
+			}
+			t.Cells[rc.Name][k] = res
+		}
+	}
+	return t, nil
+}
+
+// FormatRates renders the Figure 10 table (KB/second).
+func (t *Table) FormatRates(kinds []Kind) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s", "")
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "%8s", k)
+	}
+	sb.WriteByte('\n')
+	for _, run := range t.Order {
+		fmt.Fprintf(&sb, "%-4s", run)
+		for _, k := range kinds {
+			fmt.Fprintf(&sb, "%8.0f", t.Cells[run][k].RateKBs())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatRatios renders the Figure 11 table (other runs relative to the
+// first run in Order, typically A/B, A/C, A/D).
+func (t *Table) FormatRatios(kinds []Kind) string {
+	if len(t.Order) < 2 {
+		return ""
+	}
+	base := t.Order[0]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", "")
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "%8s", k)
+	}
+	sb.WriteByte('\n')
+	for _, run := range t.Order[1:] {
+		fmt.Fprintf(&sb, "%s/%-4s", base, run)
+		for _, k := range kinds {
+			b := t.Cells[run][k].RateKBs()
+			a := t.Cells[base][k].RateKBs()
+			r := 0.0
+			if b > 0 {
+				r = a / b
+			}
+			fmt.Fprintf(&sb, "%8.2f", r)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Ratio returns rate(runA)/rate(runB) for a kind.
+func (t *Table) Ratio(runA, runB string, k Kind) float64 {
+	b := t.Cells[runB][k].RateKBs()
+	if b == 0 {
+		return 0
+	}
+	return t.Cells[runA][k].RateKBs() / b
+}
+
+// SortedKinds returns kinds in canonical order for deterministic output.
+func SortedKinds(m map[Kind]Result) []Kind {
+	var out []Kind
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,72 @@
+package raw
+
+import (
+	"bytes"
+	"testing"
+
+	"ufsclust/internal/cpu"
+	"ufsclust/internal/disk"
+	"ufsclust/internal/driver"
+	"ufsclust/internal/sim"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	s := sim.New(1)
+	d := disk.New(s, "d0", disk.DefaultParams())
+	dev := Open(driver.New(s, d, cpu.New(s, 12), driver.DefaultConfig()), cpu.New(s, 12))
+	data := make([]byte, 32<<10)
+	for i := range data {
+		data[i] = byte(i % 97)
+	}
+	got := make([]byte, len(data))
+	s.Spawn("io", func(p *sim.Proc) {
+		if _, err := dev.WriteAt(p, 1<<20, data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if _, err := dev.ReadAt(p, 1<<20, got); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("raw round trip mismatch")
+	}
+}
+
+func TestRawSplitsAtMaxPhys(t *testing.T) {
+	s := sim.New(1)
+	d := disk.New(s, "d0", disk.DefaultParams())
+	dev := Open(driver.New(s, d, nil, driver.DefaultConfig()), nil)
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, driver.DefaultMaxPhys*2+512)
+		if _, err := dev.WriteAt(p, 0, buf); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Writes != 3 {
+		t.Fatalf("disk writes = %d, want 3 (split at maxphys)", d.Stats.Writes)
+	}
+}
+
+func TestRawRejectsUnaligned(t *testing.T) {
+	s := sim.New(1)
+	d := disk.New(s, "d0", disk.DefaultParams())
+	dev := Open(driver.New(s, d, nil, driver.DefaultConfig()), nil)
+	s.Spawn("io", func(p *sim.Proc) {
+		if _, err := dev.ReadAt(p, 100, make([]byte, 512)); err == nil {
+			t.Error("unaligned offset accepted")
+		}
+		if _, err := dev.ReadAt(p, 512, make([]byte, 100)); err == nil {
+			t.Error("unaligned length accepted")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateSleeping
+	stateBlocked
+	stateDead
+)
+
+// Proc is a simulated thread of control. Its body function runs on a
+// dedicated goroutine, but the kernel guarantees that at most one process
+// (or the scheduler) executes at any instant, handing control back and
+// forth over unbuffered channels. Shared simulation state therefore needs
+// no locking.
+type Proc struct {
+	sim   *Sim
+	name  string
+	wake  chan struct{}
+	state procState
+
+	// daemon processes (device service loops, the pageout daemon) are
+	// expected to block forever and are excluded from deadlock
+	// detection and run-completion accounting.
+	daemon bool
+
+	// blockedOn names the wait queue the process is parked on, for
+	// deadlock diagnostics.
+	blockedOn string
+}
+
+// Spawn creates a process named name running fn and makes it runnable at
+// the current virtual time. It may be called before Run or from any
+// process or scheduler context during the run.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}), state: stateReady}
+	s.live++
+	s.allProcs = append(s.allProcs, p)
+	go func() {
+		<-p.wake
+		fn(p)
+		p.state = stateDead
+		s.live--
+		s.yielded <- struct{}{}
+	}()
+	s.ready = append(s.ready, p)
+	return p
+}
+
+// SpawnDaemon creates a process like Spawn but marks it as a daemon:
+// it may block forever without being reported as deadlocked.
+func (s *Sim) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := s.Spawn(name, fn)
+	p.daemon = true
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator the process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// yield hands control back to the scheduler and blocks until rewoken.
+func (p *Proc) yield() {
+	p.sim.yielded <- struct{}{}
+	<-p.wake
+	p.state = stateRunning
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d
+// still yields the processor, letting other ready processes run first.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.state = stateSleeping
+	p.sim.schedule(p.sim.now+d, p, nil)
+	p.yield()
+}
+
+// Yield makes the process runnable again after all currently-ready
+// processes have run, without advancing the clock.
+func (p *Proc) Yield() {
+	p.state = stateReady
+	p.sim.ready = append(p.sim.ready, p)
+	p.yield()
+}
+
+// Block parks the process on q until some other party calls q.WakeOne or
+// q.WakeAll. Callers almost always re-check their predicate in a loop:
+//
+//	for !cond() {
+//		p.Block(&q)
+//	}
+func (p *Proc) Block(q *WaitQ) {
+	p.state = stateBlocked
+	p.blockedOn = q.Name
+	q.procs = append(q.procs, p)
+	p.yield()
+	p.blockedOn = ""
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// event is a scheduled occurrence: either a process wakeup or an inline
+// callback. Events at equal times fire in scheduling order (seq).
+type event struct {
+	t   Time
+	seq int64
+	p   *Proc  // wake this process, or
+	fn  func() // run this callback inline in scheduler context
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. Create one with New, add processes
+// with Spawn, then call Run.
+type Sim struct {
+	now      Time
+	seq      int64
+	events   eventHeap
+	ready    []*Proc
+	yielded  chan struct{}
+	current  *Proc
+	live     int // spawned processes that have not yet exited
+	stopped  bool
+	limit    Time // run-until bound; 0 means none
+	allProcs []*Proc
+
+	// Rand is a deterministic source seeded at construction. Workloads
+	// should draw from it so runs replay exactly.
+	Rand *rand.Rand
+
+	// TraceW, when non-nil, receives a line per scheduling decision.
+	// Intended for debugging and for the figure-trace tooling.
+	TraceW io.Writer
+}
+
+// New returns a simulator with its clock at zero and a deterministic
+// random source derived from seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		yielded: make(chan struct{}),
+		Rand:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// schedule enqueues ev at time t (clamped to now).
+func (s *Sim) schedule(t Time, p *Proc, fn func()) *event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{t: t, seq: s.seq, p: p, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After runs fn in scheduler context d from now. fn must not block; it may
+// wake processes, mutate state, and schedule further events. It models
+// things like interrupt delivery.
+func (s *Sim) After(d Time, fn func()) {
+	s.schedule(s.now+d, nil, fn)
+}
+
+// At runs fn in scheduler context at absolute time t (or now, if t is past).
+func (s *Sim) At(t Time, fn func()) {
+	s.schedule(t, nil, fn)
+}
+
+// Stop ends the run; Run returns once the current process yields.
+func (s *Sim) Stop() { s.stopped = true }
+
+// DeadlockError is returned by Run when no event is pending but live
+// processes remain blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // names of blocked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked %v", e.At, len(e.Blocked), e.Blocked)
+}
+
+// Run executes the simulation until no runnable process or pending event
+// remains, Stop is called, or (if RunUntil was used) the time bound is
+// reached. It returns a *DeadlockError if live processes remain blocked
+// with no pending event, and nil otherwise.
+func (s *Sim) Run() error {
+	for !s.stopped {
+		if len(s.ready) == 0 {
+			if s.events.Len() == 0 {
+				break
+			}
+			ev := heap.Pop(&s.events).(*event)
+			if s.limit > 0 && ev.t > s.limit {
+				heap.Push(&s.events, ev)
+				break
+			}
+			s.now = ev.t
+			if ev.fn != nil {
+				ev.fn()
+			} else if ev.p != nil && ev.p.state == stateSleeping {
+				ev.p.state = stateReady
+				s.ready = append(s.ready, ev.p)
+			}
+			continue
+		}
+		p := s.ready[0]
+		copy(s.ready, s.ready[1:])
+		s.ready = s.ready[:len(s.ready)-1]
+		if p.state != stateReady {
+			continue
+		}
+		s.runProc(p)
+	}
+	if !s.stopped && s.limit == 0 && s.live > 0 {
+		var blocked []string
+		for _, p := range s.allProcs {
+			if p.daemon {
+				continue
+			}
+			if p.state == stateBlocked || p.state == stateSleeping {
+				blocked = append(blocked, p.name)
+			}
+		}
+		if len(blocked) > 0 {
+			return &DeadlockError{At: s.now, Blocked: blocked}
+		}
+	}
+	return nil
+}
+
+// RunUntil executes the simulation like Run but stops advancing the clock
+// past t. Events scheduled after t remain pending; a subsequent RunUntil
+// or Run resumes them.
+func (s *Sim) RunUntil(t Time) error {
+	s.limit = t
+	err := s.Run()
+	s.limit = 0
+	if s.now < t && !s.stopped {
+		s.now = t
+	}
+	return err
+}
+
+// runProc hands control to p and waits for it to yield back.
+func (s *Sim) runProc(p *Proc) {
+	p.state = stateRunning
+	s.current = p
+	if s.TraceW != nil {
+		fmt.Fprintf(s.TraceW, "%v run %s\n", s.now, p.name)
+	}
+	p.wake <- struct{}{}
+	<-s.yielded
+	s.current = nil
+}
+
+// Current returns the running process, or nil when called from scheduler
+// context (an After/At callback).
+func (s *Sim) Current() *Proc { return s.current }

@@ -1,0 +1,490 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New(1)
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Millisecond {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+}
+
+func TestSequentialSleeps(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(Millisecond)
+		p.Sleep(2 * Millisecond)
+		p.Sleep(3 * Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 6*Millisecond {
+		t.Fatalf("woke at %v, want 6ms", at)
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(Millisecond)
+		order = append(order, "a1")
+		p.Sleep(2 * Millisecond) // wakes at 3ms
+		order = append(order, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		order = append(order, "b1")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			p.Sleep(Millisecond)
+			order = append(order, name)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("equal-time wakeups out of spawn order: %v", order)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	s := New(1)
+	var fired Time = -1
+	s.Spawn("main", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+	})
+	s.After(4*Millisecond, func() { fired = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 4*Millisecond {
+		t.Fatalf("callback at %v, want 4ms", fired)
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	s := New(1)
+	var q WaitQ
+	done := false
+	s.Spawn("waiter", func(p *Proc) {
+		for !done {
+			p.Block(&q)
+		}
+		if p.Now() != 7*Millisecond {
+			t.Errorf("woke at %v, want 7ms", p.Now())
+		}
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(7 * Millisecond)
+		done = true
+		q.WakeAll()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("waker never ran")
+	}
+}
+
+func TestWakeOneIsFIFO(t *testing.T) {
+	s := New(1)
+	var q WaitQ
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			p.Block(&q)
+			woke = append(woke, name)
+		})
+	}
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(Millisecond)
+		q.WakeOne()
+		p.Sleep(Millisecond)
+		q.WakeOne()
+		p.Sleep(Millisecond)
+		q.WakeOne()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 || woke[0] != "w1" || woke[1] != "w2" || woke[2] != "w3" {
+		t.Fatalf("wake order = %v, want [w1 w2 w3]", woke)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(1)
+	var q WaitQ
+	s.Spawn("stuck", func(p *Proc) {
+		p.Block(&q)
+	})
+	err := s.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v, want [stuck]", de.Blocked)
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	s.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Second)
+			ticks++
+		}
+	})
+	if err := s.RunUntil(10*Second + Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	// Resume: the pending event must still fire.
+	if err := s.RunUntil(11*Second + Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 11 {
+		t.Fatalf("after resume ticks = %d, want 11", ticks)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Spawn("worker", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+			n++
+			if n == 5 {
+				s.Stop()
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+}
+
+func TestSemaphoreBlocksUntilV(t *testing.T) {
+	s := New(1)
+	sem := NewSemaphore("wl", 3)
+	var got Time = -1
+	s.Spawn("taker", func(p *Proc) {
+		sem.P(p, 2)
+		sem.P(p, 2) // must block: only 1 left
+		got = p.Now()
+	})
+	s.Spawn("giver", func(p *Proc) {
+		p.Sleep(9 * Millisecond)
+		sem.V(1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9*Millisecond {
+		t.Fatalf("second P completed at %v, want 9ms", got)
+	}
+	if sem.Value() != 0 {
+		t.Fatalf("value = %d, want 0", sem.Value())
+	}
+}
+
+func TestSemaphoreVFromSchedulerContext(t *testing.T) {
+	s := New(1)
+	sem := NewSemaphore("io", 0)
+	s.Spawn("waiter", func(p *Proc) {
+		sem.P(p, 1)
+		if p.Now() != 3*Millisecond {
+			t.Errorf("P returned at %v, want 3ms", p.Now())
+		}
+	})
+	s.After(3*Millisecond, func() { sem.V(1) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New(1)
+	cpu := NewResource(s, "cpu")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("user", func(p *Proc) {
+			cpu.Use(p, 10*Millisecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if cpu.BusyTime() != 30*Millisecond {
+		t.Fatalf("busy = %v, want 30ms", cpu.BusyTime())
+	}
+	if u := cpu.Utilization(); u != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", u)
+	}
+	if cpu.Uses() != 3 {
+		t.Fatalf("uses = %d, want 3", cpu.Uses())
+	}
+}
+
+func TestResourceIdleUtilization(t *testing.T) {
+	s := New(1)
+	cpu := NewResource(s, "cpu")
+	s.Spawn("p", func(p *Proc) {
+		cpu.Use(p, 10*Millisecond)
+		p.Sleep(30 * Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := cpu.Utilization(); u != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestYieldRunsOthersFirst(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		order = append(order, "a-start")
+		p.Yield()
+		order = append(order, "a-end")
+	})
+	s.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a-start", "b", "a-end"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	s := New(1)
+	childRan := false
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(Millisecond)
+		s.Spawn("child", func(c *Proc) {
+			c.Sleep(Millisecond)
+			childRan = true
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		s := New(42)
+		var trace []Time
+		for i := 0; i < 4; i++ {
+			s.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Time(s.Rand.Intn(1000)) * Microsecond)
+					trace = append(trace, p.Now())
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	s := New(1)
+	s.Spawn("p", func(p *Proc) {
+		p.Sleep(-Millisecond)
+		if p.Now() != 0 {
+			t.Errorf("Now = %v after negative sleep, want 0", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{5 * Microsecond, "5.00us"},
+		{4200 * Microsecond, "4.20ms"},
+		{1610 * Millisecond, "1.610s"},
+		{-Millisecond, "-1.00ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of sleep durations, processes wake in global
+// time order and the final clock equals the max per-process sum.
+func TestPropertySleepOrdering(t *testing.T) {
+	f := func(durs [][]uint16) bool {
+		if len(durs) == 0 || len(durs) > 8 {
+			return true
+		}
+		s := New(7)
+		var wakes []Time
+		var maxSum Time
+		any := false
+		for _, ds := range durs {
+			if len(ds) > 16 {
+				ds = ds[:16]
+			}
+			if len(ds) == 0 {
+				continue
+			}
+			any = true
+			var sum Time
+			for _, d := range ds {
+				sum += Time(d) * Microsecond
+			}
+			if sum > maxSum {
+				maxSum = sum
+			}
+			ds := ds
+			s.Spawn("p", func(p *Proc) {
+				for _, d := range ds {
+					p.Sleep(Time(d) * Microsecond)
+					wakes = append(wakes, p.Now())
+				}
+			})
+		}
+		if !any {
+			return true
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i] < wakes[i-1] {
+				return false
+			}
+		}
+		return s.Now() == maxSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a semaphore never goes negative and always ends with
+// initial + sum(V) - sum(P) units.
+func TestPropertySemaphoreConservation(t *testing.T) {
+	f := func(takes []uint8) bool {
+		if len(takes) == 0 || len(takes) > 20 {
+			return true
+		}
+		s := New(3)
+		var total int64
+		for _, v := range takes {
+			total += int64(v%16) + 1
+		}
+		sem := NewSemaphore("s", 4)
+		for _, v := range takes {
+			n := int64(v%16) + 1
+			s.Spawn("taker", func(p *Proc) {
+				sem.P(p, n)
+				if sem.Value() < 0 {
+					t.Error("semaphore went negative")
+				}
+				p.Sleep(Time(n) * Microsecond)
+				sem.V(n)
+			})
+		}
+		if err := s.Run(); err != nil {
+			// Takers wanting more than the 4+released units available
+			// at once can deadlock only if a single take exceeds the
+			// total; with cap 16 vs initial 4 that is possible.
+			_, isDeadlock := err.(*DeadlockError)
+			return isDeadlock
+		}
+		return sem.Value() == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package trace renders the paper's access-pattern figures (3, 6, 7)
+// from live executions of the engine: for each page touched it records
+// what the file system did — synchronous reads, asynchronous
+// read-aheads, delayed-write "lies", cluster pushes — and the relevant
+// inode predictor after the call, then lays the events out as the paper
+// does, one column per page.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ufsclust"
+	"ufsclust/internal/sim"
+	"ufsclust/internal/ufs"
+)
+
+// PageEvents is everything that happened during the fault (or putpage)
+// for one page.
+type PageEvents struct {
+	Page    int64
+	Actions []string // e.g. "sync 0,1,2", "async 3,4,5", "lie", "push 0,1,2"
+	Pred    int64    // nextr (fig 3) or nextrio (fig 6) after the call
+}
+
+// Figure is a rendered access-pattern table.
+type Figure struct {
+	Title     string
+	PredLabel string // "nextr" / "nextrio" / "" for fig 7
+	Pages     []PageEvents
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintln(w, f.Title)
+	width := 16
+	cell := func(s string) string {
+		if len(s) > width-2 {
+			s = s[:width-2]
+		}
+		return fmt.Sprintf("%-*s", width, s)
+	}
+	var rows [][]string
+	maxActs := 0
+	for _, p := range f.Pages {
+		if len(p.Actions) > maxActs {
+			maxActs = len(p.Actions)
+		}
+	}
+	header := []string{"page"}
+	for _, p := range f.Pages {
+		header = append(header, fmt.Sprintf("%d", p.Page))
+	}
+	rows = append(rows, header)
+	for a := 0; a < maxActs; a++ {
+		row := []string{""}
+		for _, p := range f.Pages {
+			if a < len(p.Actions) {
+				row = append(row, p.Actions[a])
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	if f.PredLabel != "" {
+		row := []string{f.PredLabel}
+		for _, p := range f.Pages {
+			row = append(row, fmt.Sprintf("%d", p.Pred))
+		}
+		rows = append(rows, row)
+	}
+	for i, row := range rows {
+		var sb strings.Builder
+		for _, c := range row {
+			sb.WriteString(cell(c))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		if i == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", width*len(row)))
+		}
+	}
+}
+
+func lbnList(lbn int64, n int) string {
+	var parts []string
+	for i := 0; i < n; i++ {
+		parts = append(parts, fmt.Sprintf("%d", lbn+int64(i)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// machine builds a small machine with the given tuning.
+func machine(rotdelayMs, maxcontig int, clustered bool) (*ufsclust.Machine, error) {
+	opts := ufsclust.Options{
+		Mkfs: ufs.MkfsOpts{Rotdelay: rotdelayMs, Maxcontig: maxcontig},
+	}
+	opts.Engine.Clustered = clustered
+	opts.Engine.ReadAhead = true
+	return ufsclust.NewMachine(opts)
+}
+
+// readFigure runs a sequential read of npages and records per-page
+// events. nextrio selects which predictor is reported.
+func readFigure(title string, rotdelayMs, maxcontig, npages int, clustered bool) (*Figure, error) {
+	m, err := machine(rotdelayMs, maxcontig, clustered)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Title: title, PredLabel: "nextr"}
+	if clustered {
+		fig.PredLabel = "nextrio"
+	}
+	err = m.Run(func(p *sim.Proc) {
+		f, err := m.Engine.Create(p, "/trace")
+		if err != nil {
+			return
+		}
+		f.Write(p, 0, make([]byte, (npages+3*maxcontig+2)*8192))
+		f.Purge(p)
+
+		var cur *PageEvents
+		m.Engine.Hook = func(event string, lbn int64, blocks int) {
+			if cur == nil {
+				return
+			}
+			cur.Actions = append(cur.Actions, fmt.Sprintf("%s %s", event, lbnList(lbn, blocks)))
+		}
+		buf := make([]byte, 8192)
+		for i := 0; i < npages; i++ {
+			pe := PageEvents{Page: int64(i)}
+			cur = &pe
+			f.Read(p, int64(i)*8192, buf)
+			if clustered {
+				pe.Pred = f.Inode().Nextrio
+			} else {
+				pe.Pred = f.Inode().Nextr
+			}
+			fig.Pages = append(fig.Pages, pe)
+		}
+		cur = nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// Figure3 reproduces the legacy one-block read-ahead table.
+func Figure3() (*Figure, error) {
+	return readFigure("Figure 3: access pattern showing read ahead (legacy UFS)",
+		4, 1, 3, false)
+}
+
+// Figure6 reproduces the clustered-read table with maxcontig = 3.
+func Figure6() (*Figure, error) {
+	return readFigure("Figure 6: clustered reads when maxcontig = 3",
+		0, 3, 7, true)
+}
+
+// Figure7 reproduces the clustered-write ("lie/push") table with
+// maxcontig = 3.
+func Figure7() (*Figure, error) {
+	m, err := machine(0, 3, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Title: "Figure 7: clustered writes with maxcontig = 3"}
+	err = m.Run(func(p *sim.Proc) {
+		f, err := m.Engine.Create(p, "/trace")
+		if err != nil {
+			return
+		}
+		var cur *PageEvents
+		m.Engine.Hook = func(event string, lbn int64, blocks int) {
+			if cur == nil {
+				return
+			}
+			s := event
+			if event == "push" {
+				s = fmt.Sprintf("push %s", lbnList(lbn, blocks))
+			}
+			cur.Actions = append(cur.Actions, s)
+		}
+		buf := make([]byte, 8192)
+		for i := 0; i < 6; i++ {
+			pe := PageEvents{Page: int64(i)}
+			cur = &pe
+			f.Write(p, int64(i)*8192, buf)
+			fig.Pages = append(fig.Pages, pe)
+		}
+		cur = nil
+		f.Fsync(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fig, nil
+}

@@ -1,0 +1,255 @@
+package ufs
+
+import (
+	"ufsclust/internal/cpu"
+	"ufsclust/internal/driver"
+	"ufsclust/internal/sim"
+)
+
+// MBuf is a metadata buffer: one file system block of superblock copies,
+// cylinder group headers, inode blocks, indirect blocks, or directory
+// data. SunOS kept the old buffer cache for exactly this metadata while
+// file data moved to the page cache; so do we.
+type MBuf struct {
+	Fsbn  int32 // block-aligned fragment address
+	Data  []byte
+	dirty bool
+	busy  bool
+	valid bool
+
+	// orderedPending marks a B_ORDER write queued but possibly not yet
+	// taken by the drive. Further ordered writes of the same buffer
+	// coalesce onto the queued request — the mechanism that makes
+	// "rm *" fast: sixty inode updates become one ordered disk write.
+	orderedPending bool
+
+	wanted sim.WaitQ
+	lru    int64 // last-release sequence for eviction
+}
+
+// Bcache is the metadata buffer cache.
+type Bcache struct {
+	Sim *sim.Sim
+	CPU *cpu.Model // may be nil
+	Drv *driver.Driver
+	sb  *Superblock
+
+	bufs map[int32]*MBuf
+	nbuf int
+	seq  int64
+
+	// Stats
+	Hits, Misses, Evictions, Writes int64
+}
+
+// NewBcache builds a cache of nbuf block buffers (default 64 = 512 KB).
+func NewBcache(s *sim.Sim, cpuModel *cpu.Model, drv *driver.Driver, sb *Superblock, nbuf int) *Bcache {
+	if nbuf <= 0 {
+		nbuf = 64
+	}
+	return &Bcache{Sim: s, CPU: cpuModel, Drv: drv, sb: sb, bufs: make(map[int32]*MBuf), nbuf: nbuf}
+}
+
+// align rounds a fragment address down to its block start.
+func (bc *Bcache) align(fsbn int32) int32 { return fsbn / bc.sb.Frag * bc.sb.Frag }
+
+// getblk finds or creates the buffer for the block containing fsbn,
+// returning it busy (locked). The contents are valid only if the buffer
+// was already cached; Bread fills invalid buffers.
+func (bc *Bcache) getblk(p *sim.Proc, fsbn int32) *MBuf {
+	key := bc.align(fsbn)
+	for {
+		b, ok := bc.bufs[key]
+		if !ok {
+			break
+		}
+		if !b.busy {
+			b.busy = true
+			return b
+		}
+		b.waitUnlock(p)
+		// Re-check: the buffer may have been evicted while we slept.
+	}
+	// Miss: evict if full.
+	for len(bc.bufs) >= bc.nbuf {
+		victim := bc.evictable()
+		if victim == nil {
+			// Everything busy; wait for any release. Crude but rare.
+			p.Sleep(sim.Millisecond)
+			continue
+		}
+		victim.busy = true
+		if victim.dirty {
+			bc.iowrite(p, victim)
+			victim.dirty = false
+		}
+		delete(bc.bufs, victim.Fsbn)
+		bc.Evictions++
+		victim.busy = false
+		victim.wanted.WakeAll()
+	}
+	b := &MBuf{Fsbn: key, Data: make([]byte, bc.sb.Bsize), busy: true}
+	bc.bufs[key] = b
+	return b
+}
+
+// evictable picks the least-recently released non-busy buffer.
+func (bc *Bcache) evictable() *MBuf {
+	var victim *MBuf
+	for _, b := range bc.bufs {
+		if b.busy {
+			continue
+		}
+		if victim == nil || b.lru < victim.lru {
+			victim = b
+		}
+	}
+	return victim
+}
+
+func (b *MBuf) waitUnlock(p *sim.Proc) {
+	for b.busy {
+		p.Block(&b.wanted)
+	}
+}
+
+// Bread returns the buffer for the block containing fsbn, reading it
+// from disk if necessary. The buffer is returned locked; release with
+// Brelse, Bdwrite, or Bwrite.
+func (bc *Bcache) Bread(p *sim.Proc, fsbn int32) *MBuf {
+	b := bc.getblk(p, fsbn)
+	if b.valid {
+		bc.Hits++
+		return b
+	}
+	bc.Misses++
+	done := false
+	var q sim.WaitQ
+	bc.Drv.Strategy(p, &driver.Buf{
+		Blkno: bc.sb.FsbToDb(b.Fsbn),
+		Data:  b.Data,
+		Iodone: func(*driver.Buf) {
+			done = true
+			q.WakeAll()
+		},
+	})
+	for !done {
+		p.Block(&q)
+	}
+	b.valid = true
+	return b
+}
+
+// Brelse unlocks a buffer without changing its dirty state.
+func (bc *Bcache) Brelse(b *MBuf) {
+	bc.seq++
+	b.lru = bc.seq
+	b.busy = false
+	b.wanted.WakeAll()
+}
+
+// Bdwrite marks the buffer dirty and releases it (a delayed write: the
+// data goes out on eviction or Flush).
+func (bc *Bcache) Bdwrite(b *MBuf) {
+	b.dirty = true
+	bc.Brelse(b)
+}
+
+// Bwrite writes the buffer synchronously and releases it. UFS uses
+// synchronous metadata writes where ordering matters (the cost the
+// paper's B_ORDER proposal would remove).
+func (bc *Bcache) Bwrite(p *sim.Proc, b *MBuf) {
+	b.dirty = false
+	bc.iowrite(p, b)
+	bc.Brelse(b)
+}
+
+// BwriteOrdered starts an asynchronous write carrying the B_ORDER flag
+// — the driver (and anything below it) may not reorder the request —
+// and releases the buffer immediately. It gives the on-disk ordering
+// that UFS otherwise buys with synchronous writes, without making the
+// caller wait: the paper's Further Work proposal. Ordered writes of a
+// buffer whose previous ordered write is still queued coalesce onto it
+// (the queued request carries the buffer's live contents), so bursts of
+// metadata updates to one block cost one transfer.
+func (bc *Bcache) BwriteOrdered(p *sim.Proc, b *MBuf) {
+	b.dirty = false
+	if b.orderedPending {
+		bc.Brelse(b)
+		return
+	}
+	b.orderedPending = true
+	bc.Drv.Strategy(p, &driver.Buf{
+		Blkno: bc.sb.FsbToDb(b.Fsbn),
+		Data:  b.Data,
+		Write: true,
+		Order: true,
+		Iodone: func(*driver.Buf) {
+			bc.Writes++
+			b.orderedPending = false
+		},
+	})
+	bc.Brelse(b)
+}
+
+// metaWrite applies the mount's ordering discipline to a modified
+// metadata buffer: a blocking synchronous write classically, an ordered
+// asynchronous one with OrderedWrites.
+//
+// Caveat (known simplification): coalescing a later update onto a
+// still-queued ordered write can, across a crash, publish that update
+// ahead of intervening writes to other blocks — full correctness needs
+// the dependency tracking soft updates later developed. The paper only
+// sketches B_ORDER; we implement the sketch.
+func (fs *Fs) metaWrite(p *sim.Proc, b *MBuf) {
+	if fs.OrderedWrites {
+		fs.OrderedMetaWrites++
+		fs.BC.BwriteOrdered(p, b)
+		return
+	}
+	fs.SyncMetaWrites++
+	fs.BC.Bwrite(p, b)
+}
+
+// iowrite performs the timed write of b.
+func (bc *Bcache) iowrite(p *sim.Proc, b *MBuf) {
+	done := false
+	var q sim.WaitQ
+	bc.Drv.Strategy(p, &driver.Buf{
+		Blkno: bc.sb.FsbToDb(b.Fsbn),
+		Data:  b.Data,
+		Write: true,
+		Iodone: func(*driver.Buf) {
+			done = true
+			q.WakeAll()
+		},
+	})
+	for !done {
+		p.Block(&q)
+	}
+	bc.Writes++
+}
+
+// Flush writes every dirty buffer (sync/unmount path).
+func (bc *Bcache) Flush(p *sim.Proc) {
+	for _, b := range bc.bufs {
+		if b.dirty && !b.busy {
+			b.busy = true
+			b.dirty = false
+			bc.iowrite(p, b)
+			b.busy = false
+			b.wanted.WakeAll()
+		}
+	}
+}
+
+// FlushImage spills every dirty buffer straight to the image with no
+// simulated time: the offline path used before fsck in tests.
+func (bc *Bcache) FlushImage() {
+	for _, b := range bc.bufs {
+		if b.dirty {
+			bc.Drv.Disk.WriteImage(bc.sb.FsbToDb(b.Fsbn), b.Data)
+			b.dirty = false
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package ufs
+
+import (
+	"fmt"
+
+	"ufsclust/internal/cpu"
+	"ufsclust/internal/sim"
+)
+
+const bmapInstr = 1100 // CPU instructions per bmap translation
+
+// Bmap translates logical block lbn of ip to its fragment address. It
+// also returns the length, in blocks, of the contiguous run starting at
+// lbn — the paper's one interface change: "We modified it to return a
+// length as well as the physical block number... The length returned is
+// at most maxcontig blocks long and is used as the effective cluster
+// size by the caller."
+//
+// A hole returns fsbn 0 with length 1. Indirect blocks are fetched
+// through the metadata cache and cost simulated I/O time, which is why
+// the paper's Further Work wants a bmap cache.
+func (fs *Fs) Bmap(p *sim.Proc, ip *Inode, lbn int64) (int32, int, error) {
+	if lbn < 0 || lbn >= fs.SB.MaxFileBlocks() {
+		return 0, 0, fmt.Errorf("ufs: lbn %d out of range", lbn)
+	}
+	// The Further Work bmap cache: serve from the inode's last
+	// translation run without touching pointer blocks.
+	if fs.BmapCache && ip.bmapCache.valid &&
+		lbn >= ip.bmapCache.lbn && lbn < ip.bmapCache.lbn+int64(ip.bmapCache.run) {
+		fs.chargeCPU(p, cpu.Bmap, bmapInstr/8)
+		fs.BmapCacheHits++
+		off := int32(lbn - ip.bmapCache.lbn)
+		return ip.bmapCache.fsbn + off*fs.SB.Frag, int(ip.bmapCache.run - off), nil
+	}
+	fs.chargeCPU(p, cpu.Bmap, bmapInstr)
+	fs.BmapCalls++
+	fsbn, run, err := fs.bmapSlow(p, ip, lbn)
+	if err == nil && fs.BmapCache && fsbn != 0 {
+		ip.bmapCache.valid = true
+		ip.bmapCache.lbn = lbn
+		ip.bmapCache.fsbn = fsbn
+		ip.bmapCache.run = int32(run)
+	}
+	return fsbn, run, err
+}
+
+// bmapSlow walks the block pointers.
+func (fs *Fs) bmapSlow(p *sim.Proc, ip *Inode, lbn int64) (int32, int, error) {
+	maxc := int(fs.SB.Maxcontig)
+	if maxc < 1 {
+		maxc = 1
+	}
+	// Never report a run past the end of the file.
+	lastLbn := (ip.D.Size + int64(fs.SB.Bsize) - 1) / int64(fs.SB.Bsize)
+	limitRun := func(run int) int {
+		if max := int(lastLbn - lbn); run > max && max >= 1 {
+			run = max
+		}
+		if run < 1 {
+			run = 1
+		}
+		if run > maxc {
+			run = maxc
+		}
+		return run
+	}
+
+	if lbn < NDADDR {
+		addr := ip.D.DB[lbn]
+		if addr == 0 {
+			return 0, 1, nil
+		}
+		run := 1
+		for int64(run)+lbn < NDADDR && run < maxc {
+			if ip.D.DB[lbn+int64(run)] != addr+int32(run)*fs.SB.Frag {
+				break
+			}
+			run++
+		}
+		return addr, limitRun(run), nil
+	}
+
+	nindir := fs.SB.NindirPerBlock()
+	rel := lbn - NDADDR
+	if rel < nindir {
+		if ip.D.IB[0] == 0 {
+			return 0, 1, nil
+		}
+		b := fs.BC.Bread(p, ip.D.IB[0])
+		defer fs.BC.Brelse(b)
+		addr := getIndir(b.Data, rel)
+		if addr == 0 {
+			return 0, 1, nil
+		}
+		run := 1
+		for int64(run)+rel < nindir && run < maxc {
+			if getIndir(b.Data, rel+int64(run)) != addr+int32(run)*fs.SB.Frag {
+				break
+			}
+			run++
+		}
+		return addr, limitRun(run), nil
+	}
+
+	rel -= nindir
+	if rel >= nindir*nindir {
+		return 0, 0, fmt.Errorf("ufs: lbn %d beyond double-indirect range", lbn)
+	}
+	if ip.D.IB[1] == 0 {
+		return 0, 1, nil
+	}
+	b1 := fs.BC.Bread(p, ip.D.IB[1])
+	l1 := getIndir(b1.Data, rel/nindir)
+	fs.BC.Brelse(b1)
+	if l1 == 0 {
+		return 0, 1, nil
+	}
+	b2 := fs.BC.Bread(p, l1)
+	defer fs.BC.Brelse(b2)
+	idx := rel % nindir
+	addr := getIndir(b2.Data, idx)
+	if addr == 0 {
+		return 0, 1, nil
+	}
+	run := 1
+	for int64(run)+idx < nindir && run < maxc {
+		if getIndir(b2.Data, idx+int64(run)) != addr+int32(run)*fs.SB.Frag {
+			break
+		}
+		run++
+	}
+	return addr, limitRun(run), nil
+}
+
+func getIndir(data []byte, i int64) int32 {
+	off := i * 4
+	return int32(uint32(data[off]) | uint32(data[off+1])<<8 |
+		uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+}
+
+func putIndir(data []byte, i int64, v int32) {
+	off := i * 4
+	data[off] = byte(v)
+	data[off+1] = byte(v >> 8)
+	data[off+2] = byte(v >> 16)
+	data[off+3] = byte(v >> 24)
+}
+
+// prevAddr returns the fragment address of lbn-1 if it is allocated and
+// cheaply reachable (same pointer block), else 0.
+func (fs *Fs) prevAddr(p *sim.Proc, ip *Inode, lbn int64) int32 {
+	if lbn == 0 {
+		return 0
+	}
+	prev := lbn - 1
+	if prev < NDADDR {
+		return ip.D.DB[prev]
+	}
+	fsbn, _, err := fs.Bmap(p, ip, prev)
+	if err != nil {
+		return 0
+	}
+	return fsbn
+}
+
+// BmapAlloc ensures logical block lbn of ip has backing store for size
+// bytes (a full block, or a fragment tail when lbn is in the direct
+// range), allocating data blocks, growing tails in place when possible,
+// and allocating indirect blocks on demand. Callers must invoke it
+// BEFORE updating ip.D.Size, so the old tail size is still computable.
+// It returns the (possibly new) fragment address.
+func (fs *Fs) BmapAlloc(p *sim.Proc, ip *Inode, lbn int64, size int) (int32, error) {
+	ip.InvalidateBmapCache()
+	fs.chargeCPU(p, cpu.Bmap, bmapInstr)
+	if size <= 0 || size > int(fs.SB.Bsize) {
+		panic("ufs: BmapAlloc size out of range")
+	}
+	needFrags := (int32(size) + fs.SB.Fsize - 1) / fs.SB.Fsize
+	if lbn >= NDADDR {
+		needFrags = fs.SB.Frag // fragments live only in the direct range
+	}
+
+	if lbn < NDADDR {
+		old := ip.D.DB[lbn]
+		if old != 0 {
+			oldFrags := int32(fs.SB.BlkSize(ip.D.Size, lbn)) / fs.SB.Fsize
+			if oldFrags == 0 {
+				oldFrags = needFrags // size not yet set; treat as exact
+			}
+			if needFrags <= oldFrags {
+				return old, nil
+			}
+			// Grow the tail: extend in place, or move it.
+			if oldFrags < fs.SB.Frag {
+				ok, err := fs.ExtendFrags(p, ip, old, oldFrags, needFrags)
+				if err == nil && ok {
+					return old, nil
+				}
+				var fsbn int32
+				pref := fs.BlkPref(ip, lbn, fs.prevAddr(p, ip, lbn))
+				if needFrags == fs.SB.Frag {
+					fsbn, err = fs.AllocBlock(p, ip, pref)
+				} else {
+					fsbn, err = fs.AllocFrags(p, ip, pref, needFrags)
+				}
+				if err != nil {
+					return 0, err
+				}
+				if ferr := fs.FreeFrags(p, old, oldFrags); ferr != nil {
+					return 0, ferr
+				}
+				ip.D.Blocks -= oldFrags
+				ip.D.DB[lbn] = fsbn
+				ip.MarkDirty()
+				return fsbn, nil
+			}
+			return old, nil
+		}
+		pref := fs.BlkPref(ip, lbn, fs.prevAddr(p, ip, lbn))
+		var fsbn int32
+		var err error
+		if needFrags == fs.SB.Frag {
+			fsbn, err = fs.AllocBlock(p, ip, pref)
+		} else {
+			fsbn, err = fs.AllocFrags(p, ip, pref, needFrags)
+		}
+		if err != nil {
+			return 0, err
+		}
+		ip.D.DB[lbn] = fsbn
+		ip.MarkDirty()
+		return fsbn, nil
+	}
+
+	// Indirect ranges: walk/grow the pointer chain.
+	nindir := fs.SB.NindirPerBlock()
+	rel := lbn - NDADDR
+	if rel < nindir {
+		ib, err := fs.ensureIndir(p, ip, &ip.D.IB[0])
+		if err != nil {
+			return 0, err
+		}
+		return fs.allocInIndir(p, ip, ib, rel, lbn)
+	}
+	rel -= nindir
+	if rel >= nindir*nindir {
+		return 0, fmt.Errorf("ufs: lbn %d beyond double-indirect range", lbn)
+	}
+	ib1, err := fs.ensureIndir(p, ip, &ip.D.IB[1])
+	if err != nil {
+		return 0, err
+	}
+	// Level-1 entry points to a level-2 indirect block.
+	b1 := fs.BC.Bread(p, ib1)
+	l2 := getIndir(b1.Data, rel/nindir)
+	if l2 == 0 {
+		l2, err = fs.allocMetaBlock(p, ip)
+		if err != nil {
+			fs.BC.Brelse(b1)
+			return 0, err
+		}
+		putIndir(b1.Data, rel/nindir, l2)
+		fs.BC.Bdwrite(b1)
+	} else {
+		fs.BC.Brelse(b1)
+	}
+	return fs.allocInIndir(p, ip, l2, rel%nindir, lbn)
+}
+
+// ensureIndir allocates (zeroed) the indirect block *slot if missing and
+// returns its address.
+func (fs *Fs) ensureIndir(p *sim.Proc, ip *Inode, slot *int32) (int32, error) {
+	if *slot != 0 {
+		return *slot, nil
+	}
+	fsbn, err := fs.allocMetaBlock(p, ip)
+	if err != nil {
+		return 0, err
+	}
+	*slot = fsbn
+	ip.MarkDirty()
+	return fsbn, nil
+}
+
+// allocMetaBlock allocates and zeroes a pointer block.
+func (fs *Fs) allocMetaBlock(p *sim.Proc, ip *Inode) (int32, error) {
+	fsbn, err := fs.AllocBlock(p, ip, fs.BlkPref(ip, 0, 0))
+	if err != nil {
+		return 0, err
+	}
+	b := fs.BC.getblk(p, fsbn)
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	b.valid = true
+	fs.BC.Bdwrite(b)
+	return fsbn, nil
+}
+
+// allocInIndir ensures entry idx of the indirect block at ib points to a
+// data block, allocating one if needed.
+func (fs *Fs) allocInIndir(p *sim.Proc, ip *Inode, ib int32, idx int64, lbn int64) (int32, error) {
+	b := fs.BC.Bread(p, ib)
+	addr := getIndir(b.Data, idx)
+	if addr != 0 {
+		fs.BC.Brelse(b)
+		return addr, nil
+	}
+	var prev int32
+	if idx > 0 {
+		prev = getIndir(b.Data, idx-1)
+	} else {
+		prev = fs.prevAddr(p, ip, lbn)
+	}
+	fsbn, err := fs.AllocBlock(p, ip, fs.BlkPref(ip, lbn, prev))
+	if err != nil {
+		fs.BC.Brelse(b)
+		return 0, err
+	}
+	putIndir(b.Data, idx, fsbn)
+	fs.BC.Bdwrite(b)
+	return fsbn, nil
+}

@@ -1,0 +1,471 @@
+package ufs
+
+import (
+	"fmt"
+	"strings"
+
+	"ufsclust/internal/sim"
+)
+
+// Namei resolves an absolute path ("/a/b/c") to an inode, holding a
+// reference on the result. Symbolic links are followed, with a loop
+// bound.
+func (fs *Fs) Namei(p *sim.Proc, path string) (*Inode, error) {
+	return fs.namei(p, path, 0)
+}
+
+func (fs *Fs) namei(p *sim.Proc, path string, depth int) (*Inode, error) {
+	if depth > 8 {
+		return nil, fmt.Errorf("ufs: too many levels of symbolic links in %q", path)
+	}
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("ufs: path %q not absolute", path)
+	}
+	ip, err := fs.Iget(p, RootIno)
+	if err != nil {
+		return nil, err
+	}
+	for _, comp := range splitPath(path) {
+		if !ip.D.IsDir() {
+			fs.Iput(p, ip)
+			return nil, ErrNotDir
+		}
+		ino, err := fs.DirLookup(p, ip, comp)
+		fs.Iput(p, ip)
+		if err != nil {
+			return nil, err
+		}
+		if ip, err = fs.Iget(p, ino); err != nil {
+			return nil, err
+		}
+		if ip.D.Mode&ModeFmt == ModeLink {
+			// Follow (absolute targets only; the reproduction keeps
+			// path semantics simple).
+			target, err := fs.Readlink(ip)
+			fs.Iput(p, ip)
+			if err != nil {
+				return nil, err
+			}
+			if !strings.HasPrefix(target, "/") {
+				return nil, fmt.Errorf("ufs: relative symlink target %q unsupported", target)
+			}
+			if ip, err = fs.namei(p, target, depth+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ip, nil
+}
+
+func splitPath(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// lookupParent resolves the parent directory of path and returns it with
+// the leaf name.
+func (fs *Fs) lookupParent(p *sim.Proc, path string) (*Inode, string, error) {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return nil, "", fmt.Errorf("ufs: empty path %q", path)
+	}
+	dir := "/" + strings.Join(comps[:len(comps)-1], "/")
+	dip, err := fs.Namei(p, dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !dip.D.IsDir() {
+		fs.Iput(p, dip)
+		return nil, "", ErrNotDir
+	}
+	return dip, comps[len(comps)-1], nil
+}
+
+// Create makes a new regular file and returns its inode (referenced).
+func (fs *Fs) Create(p *sim.Proc, path string) (*Inode, error) {
+	dip, name, err := fs.lookupParent(p, path)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Iput(p, dip)
+	if _, err := fs.DirLookup(p, dip, name); err == nil {
+		return nil, ErrExists
+	} else if err != ErrNotFound {
+		return nil, err
+	}
+	ino, err := fs.IAlloc(p, dip, false)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := fs.Iget(p, ino)
+	if err != nil {
+		return nil, err
+	}
+	ip.D = Dinode{Mode: ModeReg | 0o644, Nlink: 1}
+	ip.MarkDirty()
+	if err := fs.DirEnter(p, dip, name, ino); err != nil {
+		fs.Iput(p, ip)
+		return nil, err
+	}
+	// UFS writes the new inode synchronously so the name never points
+	// at garbage after a crash — one of the ordering costs B_ORDER
+	// would remove.
+	fs.IUpdate(p, ip, true)
+	return ip, nil
+}
+
+// Mkdir creates a directory.
+func (fs *Fs) Mkdir(p *sim.Proc, path string) (*Inode, error) {
+	dip, name, err := fs.lookupParent(p, path)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Iput(p, dip)
+	if _, err := fs.DirLookup(p, dip, name); err == nil {
+		return nil, ErrExists
+	} else if err != ErrNotFound {
+		return nil, err
+	}
+	ino, err := fs.IAlloc(p, dip, true)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := fs.Iget(p, ino)
+	if err != nil {
+		return nil, err
+	}
+	ip.D = Dinode{Mode: ModeDir | 0o755, Nlink: 2}
+	fsbn, err := fs.BmapAlloc(p, ip, 0, int(fs.SB.Bsize))
+	if err != nil {
+		fs.Iput(p, ip)
+		return nil, err
+	}
+	b := fs.BC.getblk(p, fsbn)
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	b.valid = true
+	n := putDirent(b.Data, ino, ".")
+	putDirentLast(b.Data[n:], dip.Ino, "..", int(fs.SB.Bsize)-n)
+	fs.BC.Bdwrite(b)
+	ip.D.Size = int64(fs.SB.Bsize)
+	ip.MarkDirty()
+	if err := fs.DirEnter(p, dip, name, ino); err != nil {
+		fs.Iput(p, ip)
+		return nil, err
+	}
+	dip.D.Nlink++ // the child's ".."
+	dip.MarkDirty()
+	fs.IUpdate(p, ip, true)
+	return ip, nil
+}
+
+// Remove unlinks a file or empty directory and frees its storage when
+// the link count reaches zero.
+func (fs *Fs) Remove(p *sim.Proc, path string) error {
+	dip, name, err := fs.lookupParent(p, path)
+	if err != nil {
+		return err
+	}
+	defer fs.Iput(p, dip)
+	if name == "." || name == ".." {
+		return fmt.Errorf("ufs: cannot remove %q", name)
+	}
+	ino, err := fs.DirLookup(p, dip, name)
+	if err != nil {
+		return err
+	}
+	ip, err := fs.Iget(p, ino)
+	if err != nil {
+		return err
+	}
+	defer fs.Iput(p, ip)
+	wasDir := ip.D.IsDir()
+	if wasDir {
+		empty, err := fs.DirIsEmpty(p, ip)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return ErrNotEmpty
+		}
+	}
+	if _, err := fs.DirRemove(p, dip, name); err != nil {
+		return err
+	}
+	ip.D.Nlink--
+	if wasDir {
+		ip.D.Nlink-- // its "."
+		dip.D.Nlink--
+		dip.MarkDirty()
+	}
+	if ip.D.Nlink <= 0 {
+		if err := fs.Truncate(p, ip, 0); err != nil {
+			return err
+		}
+		mode := ip.D.Mode
+		ip.D = Dinode{}
+		// Synchronous inode clear before freeing the number: the
+		// ordering discipline the paper's rm benchmark pays for.
+		fs.IUpdate(p, ip, true)
+		if err := fs.IFree(p, ino, mode&ModeFmt == ModeDir); err != nil {
+			return err
+		}
+		delete(fs.itable, ino)
+	} else {
+		ip.MarkDirty()
+	}
+	return nil
+}
+
+// Truncate shrinks (or zero-extends) ip to size bytes, freeing whole
+// blocks past the new end. Growing just updates the length: UFS files
+// are sparse by default.
+func (fs *Fs) Truncate(p *sim.Proc, ip *Inode, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("ufs: negative truncate")
+	}
+	ip.InvalidateBmapCache()
+	if size >= ip.D.Size {
+		ip.D.Size = size
+		ip.MarkDirty()
+		return nil
+	}
+	oldBlocks := (ip.D.Size + int64(fs.SB.Bsize) - 1) / int64(fs.SB.Bsize)
+	newBlocks := (size + int64(fs.SB.Bsize) - 1) / int64(fs.SB.Bsize)
+
+	// Free data blocks past the new end, walking backwards.
+	for lbn := oldBlocks - 1; lbn >= newBlocks; lbn-- {
+		fsbn, _, err := fs.Bmap(p, ip, lbn)
+		if err != nil {
+			return err
+		}
+		if fsbn == 0 {
+			continue
+		}
+		// Fragments exist only in the direct range; indirect-range
+		// blocks are always whole even when the size ends mid-block.
+		frags := fs.SB.Frag
+		if lbn < NDADDR {
+			if f := int32(fs.SB.BlkSize(ip.D.Size, lbn)) / fs.SB.Fsize; f > 0 {
+				frags = f
+			}
+		}
+		if err := fs.FreeFrags(p, fsbn, frags); err != nil {
+			return err
+		}
+		ip.D.Blocks -= frags
+		fs.clearBlockPtr(p, ip, lbn)
+	}
+	// Free indirect blocks that became empty.
+	nindir := fs.SB.NindirPerBlock()
+	if newBlocks <= NDADDR && ip.D.IB[0] != 0 {
+		if err := fs.FreeFrags(p, ip.D.IB[0], fs.SB.Frag); err != nil {
+			return err
+		}
+		ip.D.Blocks -= fs.SB.Frag
+		ip.D.IB[0] = 0
+	}
+	if newBlocks <= NDADDR+nindir && ip.D.IB[1] != 0 {
+		b := fs.BC.Bread(p, ip.D.IB[1])
+		for i := int64(0); i < nindir; i++ {
+			if l2 := getIndir(b.Data, i); l2 != 0 {
+				if err := fs.FreeFrags(p, l2, fs.SB.Frag); err != nil {
+					fs.BC.Brelse(b)
+					return err
+				}
+				ip.D.Blocks -= fs.SB.Frag
+			}
+		}
+		fs.BC.Brelse(b)
+		if err := fs.FreeFrags(p, ip.D.IB[1], fs.SB.Frag); err != nil {
+			return err
+		}
+		ip.D.Blocks -= fs.SB.Frag
+		ip.D.IB[1] = 0
+	}
+	// Shrink the new tail block to fragments where the direct range
+	// allows it, as FFS truncate does; otherwise di_blocks and the
+	// bitmaps disagree with the new size.
+	if size%int64(fs.SB.Bsize) != 0 {
+		lastLbn := size / int64(fs.SB.Bsize)
+		if lastLbn < NDADDR && ip.D.DB[lastLbn] != 0 {
+			oldFrags := int32(fs.SB.BlkSize(ip.D.Size, lastLbn)) / fs.SB.Fsize
+			newFrags := int32(fs.SB.BlkSize(size, lastLbn)) / fs.SB.Fsize
+			if newFrags < oldFrags {
+				if err := fs.FreeFrags(p, ip.D.DB[lastLbn]+newFrags, oldFrags-newFrags); err != nil {
+					return err
+				}
+				ip.D.Blocks -= oldFrags - newFrags
+			}
+		}
+	}
+	ip.D.Size = size
+	ip.MarkDirty()
+	return nil
+}
+
+// clearBlockPtr zeroes the pointer to logical block lbn.
+func (fs *Fs) clearBlockPtr(p *sim.Proc, ip *Inode, lbn int64) {
+	if lbn < NDADDR {
+		ip.D.DB[lbn] = 0
+		ip.MarkDirty()
+		return
+	}
+	nindir := fs.SB.NindirPerBlock()
+	rel := lbn - NDADDR
+	if rel < nindir {
+		if ip.D.IB[0] == 0 {
+			return
+		}
+		b := fs.BC.Bread(p, ip.D.IB[0])
+		putIndir(b.Data, rel, 0)
+		fs.BC.Bdwrite(b)
+		return
+	}
+	rel -= nindir
+	if ip.D.IB[1] == 0 {
+		return
+	}
+	b1 := fs.BC.Bread(p, ip.D.IB[1])
+	l2 := getIndir(b1.Data, rel/nindir)
+	fs.BC.Brelse(b1)
+	if l2 == 0 {
+		return
+	}
+	b2 := fs.BC.Bread(p, l2)
+	putIndir(b2.Data, rel%nindir, 0)
+	fs.BC.Bdwrite(b2)
+}
+
+// MaxFastLink is the longest symlink target stored directly in the
+// inode's block-pointer area — the paper's precedent for data-in-inode:
+// "this is already done for symbolic links if the link is small enough
+// (the space normally used for block pointers is filled with the
+// symlink data)".
+const MaxFastLink = (NDADDR + NIADDR) * 4
+
+// Symlink creates a symbolic link at path pointing to target. Targets
+// up to MaxFastLink bytes live in the inode itself (a "fast symlink");
+// longer targets are unsupported in this reproduction.
+func (fs *Fs) Symlink(p *sim.Proc, path, target string) error {
+	if len(target) == 0 || len(target) > MaxFastLink {
+		return fmt.Errorf("ufs: symlink target length %d unsupported (max %d)", len(target), MaxFastLink)
+	}
+	dip, name, err := fs.lookupParent(p, path)
+	if err != nil {
+		return err
+	}
+	defer fs.Iput(p, dip)
+	if _, err := fs.DirLookup(p, dip, name); err == nil {
+		return ErrExists
+	} else if err != ErrNotFound {
+		return err
+	}
+	ino, err := fs.IAlloc(p, dip, false)
+	if err != nil {
+		return err
+	}
+	ip, err := fs.Iget(p, ino)
+	if err != nil {
+		return err
+	}
+	ip.D = Dinode{Mode: ModeLink | 0o777, Nlink: 1, Size: int64(len(target))}
+	// Pack the target into the pointer area.
+	var raw [MaxFastLink]byte
+	copy(raw[:], target)
+	for i := 0; i < NDADDR; i++ {
+		ip.D.DB[i] = int32(uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 |
+			uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24)
+	}
+	for i := 0; i < NIADDR; i++ {
+		o := (NDADDR + i) * 4
+		ip.D.IB[i] = int32(uint32(raw[o]) | uint32(raw[o+1])<<8 |
+			uint32(raw[o+2])<<16 | uint32(raw[o+3])<<24)
+	}
+	ip.MarkDirty()
+	if err := fs.DirEnter(p, dip, name, ino); err != nil {
+		fs.Iput(p, ip)
+		return err
+	}
+	fs.IUpdate(p, ip, true)
+	fs.Iput(p, ip)
+	return nil
+}
+
+// Readlink returns a symlink's target, served entirely from the inode —
+// no data I/O, which is the point the paper generalizes from.
+func (fs *Fs) Readlink(ip *Inode) (string, error) {
+	if ip.D.Mode&ModeFmt != ModeLink {
+		return "", fmt.Errorf("ufs: inode %d is not a symlink", ip.Ino)
+	}
+	var raw [MaxFastLink]byte
+	for i := 0; i < NDADDR; i++ {
+		v := uint32(ip.D.DB[i])
+		raw[i*4], raw[i*4+1], raw[i*4+2], raw[i*4+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	for i := 0; i < NIADDR; i++ {
+		v := uint32(ip.D.IB[i])
+		o := (NDADDR + i) * 4
+		raw[o], raw[o+1], raw[o+2], raw[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	return string(raw[:ip.D.Size]), nil
+}
+
+// Rename moves oldPath to newPath (files or empty-target semantics: an
+// existing regular file at newPath is replaced).
+func (fs *Fs) Rename(p *sim.Proc, oldPath, newPath string) error {
+	odip, oname, err := fs.lookupParent(p, oldPath)
+	if err != nil {
+		return err
+	}
+	defer fs.Iput(p, odip)
+	ino, err := fs.DirLookup(p, odip, oname)
+	if err != nil {
+		return err
+	}
+	ndip, nname, err := fs.lookupParent(p, newPath)
+	if err != nil {
+		return err
+	}
+	defer fs.Iput(p, ndip)
+	ip, err := fs.Iget(p, ino)
+	if err != nil {
+		return err
+	}
+	defer fs.Iput(p, ip)
+	if ip.D.IsDir() && odip.Ino != ndip.Ino {
+		return fmt.Errorf("ufs: directory rename across directories unsupported")
+	}
+	if existing, err := fs.DirLookup(p, ndip, nname); err == nil {
+		if existing == ino {
+			return nil
+		}
+		eip, err := fs.Iget(p, existing)
+		if err != nil {
+			return err
+		}
+		isDir := eip.D.IsDir()
+		fs.Iput(p, eip)
+		if isDir {
+			return ErrExists
+		}
+		if err := fs.Remove(p, newPath); err != nil {
+			return err
+		}
+	} else if err != ErrNotFound {
+		return err
+	}
+	if err := fs.DirEnter(p, ndip, nname, ino); err != nil {
+		return err
+	}
+	if _, err := fs.DirRemove(p, odip, oname); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package ufs
+
+import (
+	"fmt"
+
+	"ufsclust/internal/cpu"
+	"ufsclust/internal/driver"
+	"ufsclust/internal/sim"
+)
+
+// Fs is a mounted file system instance (the vfs object).
+type Fs struct {
+	Sim *sim.Sim
+	CPU *cpu.Model // may be nil
+	Drv *driver.Driver
+	SB  *Superblock
+	BC  *Bcache
+
+	itable map[int32]*Inode
+	cgs    map[int32]*CG
+	// csum is the in-core free-block count per group (the fs_csp
+	// summary array UFS loads at mount), used by pickCg without I/O.
+	csum []int32
+
+	// WriteLimit is the per-file cap on bytes outstanding in the disk
+	// queue (the paper's fairness semaphore); 0 disables the limit.
+	WriteLimit int64
+
+	// BmapCache enables the per-inode translation cache (Further Work:
+	// "Bmap cache"). Off by default to match the paper's measured
+	// system.
+	BmapCache bool
+
+	// OrderedWrites replaces the synchronous metadata writes that UFS
+	// uses for on-disk ordering with asynchronous B_ORDER-flagged
+	// writes the driver may not reorder (Further Work: "B_ORDER").
+	OrderedWrites bool
+
+	// Stats for the future-work features.
+	BmapCacheHits                     int64
+	SyncMetaWrites, OrderedMetaWrites int64
+
+	// rotor for cylinder-group selection of new files.
+	cgRotor int32
+
+	// Stats
+	BmapCalls, AllocCalls, FragAllocs, ReallocFrags int64
+}
+
+// MountOpts tunes a mount.
+type MountOpts struct {
+	Nbuf       int   // metadata buffer count; default 64
+	WriteLimit int64 // bytes; 0 = unlimited
+	// BmapCache and OrderedWrites enable the corresponding Further Work
+	// features (see the Fs fields of the same names).
+	BmapCache     bool
+	OrderedWrites bool
+}
+
+// Mount reads the superblock and returns a usable file system.
+func Mount(s *sim.Sim, cpuModel *cpu.Model, drv *driver.Driver, opts MountOpts) (*Fs, error) {
+	sb, err := ReadSuperblock(drv.Disk)
+	if err != nil {
+		return nil, err
+	}
+	fs := &Fs{
+		Sim:           s,
+		CPU:           cpuModel,
+		Drv:           drv,
+		SB:            sb,
+		itable:        make(map[int32]*Inode),
+		cgs:           make(map[int32]*CG),
+		WriteLimit:    opts.WriteLimit,
+		BmapCache:     opts.BmapCache,
+		OrderedWrites: opts.OrderedWrites,
+	}
+	fs.BC = NewBcache(s, cpuModel, drv, sb, opts.Nbuf)
+	// Load the per-group summary (mount-time work, untimed like the
+	// superblock read).
+	fs.csum = make([]int32, sb.Ncg)
+	blk := make([]byte, sb.Bsize)
+	for cgx := int32(0); cgx < sb.Ncg; cgx++ {
+		readFrags(drv.Disk, sb, sb.CgHeader(cgx), blk)
+		cg, err := UnmarshalCG(sb, blk)
+		if err != nil {
+			return nil, fmt.Errorf("mount: cg %d: %w", cgx, err)
+		}
+		fs.csum[cgx] = cg.Nbfree
+	}
+	return fs, nil
+}
+
+// Inode is the in-core inode: the on-disk dinode plus the fields the
+// paper's algorithms live in.
+type Inode struct {
+	Fs  *Fs
+	Ino int32
+	D   Dinode
+
+	dirty bool
+	refs  int
+
+	// Nextr is the predicted logical block of the next read; read-ahead
+	// triggers when a fault matches it (figure 3).
+	Nextr int64
+	// Nextrio is the logical block where the next cluster read-ahead
+	// should begin (figure 6).
+	Nextrio int64
+	// Delayoff/Delaylen describe the run of delayed ("lied about")
+	// write pages not yet pushed (figures 7 and 8). Byte units.
+	Delayoff int64
+	Delaylen int64
+
+	// WriteSem implements the per-file write limit: bytes of I/O this
+	// file may have in the disk queue. Nil when the limit is off.
+	WriteSem *sim.Semaphore
+
+	// bmapCache holds the most recent translation run when the mount
+	// enables the paper's "bmap cache" future-work idea: "A small cache
+	// in the inode could reduce the cost of bmap substantially."
+	bmapCache struct {
+		valid bool
+		lbn   int64 // first logical block of the cached run
+		fsbn  int32 // its fragment address
+		run   int32 // blocks in the run
+	}
+}
+
+// InvalidateBmapCache drops the cached translation; callers that change
+// the block map (allocation, truncation) must invoke it.
+func (ip *Inode) InvalidateBmapCache() { ip.bmapCache.valid = false }
+
+// Size returns the file length in bytes.
+func (ip *Inode) Size() int64 { return ip.D.Size }
+
+// MarkDirty notes that the dinode must be written back.
+func (ip *Inode) MarkDirty() { ip.dirty = true }
+
+// Iget returns the in-core inode for ino, reading it if necessary.
+func (fs *Fs) Iget(p *sim.Proc, ino int32) (*Inode, error) {
+	if ino < 0 || ino >= fs.SB.Ncg*fs.SB.Ipg {
+		return nil, fmt.Errorf("ufs: inode %d out of range", ino)
+	}
+	if ip, ok := fs.itable[ino]; ok {
+		ip.refs++
+		return ip, nil
+	}
+	b := fs.BC.Bread(p, fs.SB.InoToFsba(ino))
+	off := fs.SB.InoBlockOff(ino)
+	di := UnmarshalDinode(b.Data[off : off+DinodeSize])
+	fs.BC.Brelse(b)
+	ip := &Inode{Fs: fs, Ino: ino, D: di, refs: 1}
+	if fs.WriteLimit > 0 {
+		ip.WriteSem = sim.NewSemaphore(fmt.Sprintf("wlimit.%d", ino), fs.WriteLimit)
+	}
+	fs.itable[ino] = ip
+	return ip, nil
+}
+
+// Iput releases a reference, writing the inode back if dirty. The
+// in-core inode stays in the table (there is no cache pressure on it in
+// the simulation).
+func (fs *Fs) Iput(p *sim.Proc, ip *Inode) {
+	ip.refs--
+	if ip.dirty {
+		fs.IUpdate(p, ip, false)
+	}
+}
+
+// IUpdate writes the dinode to its inode block; sync forces the update
+// to be ordered on disk before dependent operations — by waiting for a
+// synchronous write, or, with OrderedWrites, by an asynchronous
+// B_ORDER write the driver may not reorder.
+func (fs *Fs) IUpdate(p *sim.Proc, ip *Inode, sync bool) {
+	b := fs.BC.Bread(p, fs.SB.InoToFsba(ip.Ino))
+	ip.D.MarshalInto(b.Data[fs.SB.InoBlockOff(ip.Ino) : fs.SB.InoBlockOff(ip.Ino)+DinodeSize])
+	if sync {
+		fs.metaWrite(p, b)
+	} else {
+		fs.BC.Bdwrite(b)
+	}
+	ip.dirty = false
+}
+
+// loadCG returns the in-core cylinder group, reading it on first touch.
+func (fs *Fs) loadCG(p *sim.Proc, cgx int32) (*CG, error) {
+	if cg, ok := fs.cgs[cgx]; ok {
+		return cg, nil
+	}
+	b := fs.BC.Bread(p, fs.SB.CgHeader(cgx))
+	cg, err := UnmarshalCG(fs.SB, b.Data)
+	fs.BC.Brelse(b)
+	if err != nil {
+		return nil, fmt.Errorf("ufs: cg %d: %w", cgx, err)
+	}
+	fs.cgs[cgx] = cg
+	return cg, nil
+}
+
+// storeCG pushes the in-core group back through the buffer cache as a
+// delayed write.
+func (fs *Fs) storeCG(p *sim.Proc, cg *CG) {
+	b := fs.BC.Bread(p, fs.SB.CgHeader(cg.Cgx))
+	copy(b.Data, cg.Marshal(fs.SB))
+	fs.BC.Bdwrite(b)
+}
+
+// Sync writes back every dirty inode, cylinder group, the superblock,
+// and flushes the metadata cache.
+func (fs *Fs) Sync(p *sim.Proc) {
+	for _, ip := range fs.itable {
+		if ip.dirty {
+			fs.IUpdate(p, ip, false)
+		}
+	}
+	for _, cg := range fs.cgs {
+		fs.storeCG(p, cg)
+	}
+	b := fs.BC.getblk(p, sbFragOffset)
+	if !b.valid {
+		b.valid = true
+	}
+	copy(b.Data, sbBlockImage(fs.SB))
+	fs.BC.Bdwrite(b)
+	fs.BC.Flush(p)
+}
+
+// SyncImage is the offline equivalent of Sync: spill all state to the
+// image with no simulated time, so fsck and direct image inspection see
+// a consistent file system.
+func (fs *Fs) SyncImage() {
+	for _, ip := range fs.itable {
+		b := make([]byte, fs.SB.Bsize)
+		fsba := fs.SB.InoToFsba(ip.Ino)
+		// Merge through the buffer cache if the block is cached there.
+		if mb, ok := fs.BC.bufs[fs.BC.align(fsba)]; ok && mb.valid {
+			copy(b, mb.Data)
+			ip.D.MarshalInto(b[fs.SB.InoBlockOff(ip.Ino) : fs.SB.InoBlockOff(ip.Ino)+DinodeSize])
+			copy(mb.Data, b)
+			mb.dirty = true
+		} else {
+			readFrags(fs.Drv.Disk, fs.SB, fsba, b)
+			ip.D.MarshalInto(b[fs.SB.InoBlockOff(ip.Ino) : fs.SB.InoBlockOff(ip.Ino)+DinodeSize])
+			writeFrags(fs.Drv.Disk, fs.SB, fsba, b)
+		}
+		ip.dirty = false
+	}
+	fs.BC.FlushImage()
+	for _, cg := range fs.cgs {
+		writeFrags(fs.Drv.Disk, fs.SB, fs.SB.CgHeader(cg.Cgx), cg.Marshal(fs.SB))
+	}
+	writeFrags(fs.Drv.Disk, fs.SB, sbFragOffset, fs.SB.Marshal())
+}
+
+// sbBlockImage renders the superblock into a block-sized buffer (its
+// block also holds nothing else).
+func sbBlockImage(sb *Superblock) []byte {
+	out := make([]byte, sb.Bsize)
+	copy(out, sb.Marshal())
+	return out
+}
+
+// chargeCPU charges instructions if a CPU model is attached.
+func (fs *Fs) chargeCPU(p *sim.Proc, c cpu.Category, instr int64) {
+	if fs.CPU != nil && p != nil {
+		fs.CPU.Use(p, c, instr)
+	}
+}
+
+// Driver returns the underlying driver (for raw access in benchmarks).
+func (fs *Fs) Driver() *driver.Driver { return fs.Drv }
+
+// CsumForTest exposes the in-core free-block summary for diagnostics.
+func (fs *Fs) CsumForTest() []int32 { return fs.csum }

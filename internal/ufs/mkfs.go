@@ -1,0 +1,175 @@
+package ufs
+
+import (
+	"fmt"
+
+	"ufsclust/internal/disk"
+)
+
+// MkfsOpts parameterizes file system creation. The zero value gets the
+// paper's defaults: 8 KB blocks, 1 KB fragments, 10% minfree, and the
+// legacy rotdelay=4ms / maxcontig=1 tuning (run D). The clustered
+// configurations retune rotdelay/maxcontig — which, deliberately, does
+// not change the on-disk format.
+type MkfsOpts struct {
+	Bsize     int
+	Fsize     int
+	Cpg       int // cylinders per group
+	Ipg       int // inodes per group (rounded up to a block of inodes)
+	Minfree   int // percent
+	Rotdelay  int // milliseconds between successive blocks
+	Maxcontig int // blocks per cluster when Rotdelay is 0
+	Maxbpg    int // blocks per file per group; default half a group
+}
+
+func (o MkfsOpts) withDefaults() MkfsOpts {
+	if o.Bsize == 0 {
+		o.Bsize = 8192
+	}
+	if o.Fsize == 0 {
+		o.Fsize = 1024
+	}
+	if o.Cpg == 0 {
+		o.Cpg = 16
+	}
+	if o.Ipg == 0 {
+		o.Ipg = 512
+	}
+	if o.Minfree == 0 {
+		o.Minfree = 10
+	}
+	if o.Maxcontig == 0 {
+		o.Maxcontig = 1
+	}
+	return o
+}
+
+// Mkfs lays a fresh file system onto d's image. It runs "offline" (no
+// simulated time passes) and returns the superblock it wrote.
+func Mkfs(d *disk.Disk, opts MkfsOpts) (*Superblock, error) {
+	o := opts.withDefaults()
+	if o.Bsize%o.Fsize != 0 || o.Bsize/o.Fsize > 8 {
+		return nil, fmt.Errorf("ufs: bad bsize/fsize %d/%d", o.Bsize, o.Fsize)
+	}
+	if o.Fsize != 1024 {
+		// The superblock lives at the fixed byte offset 8 KB == fragment
+		// 8; this implementation pins the FFS default fragment size.
+		return nil, fmt.Errorf("ufs: unsupported fsize %d (must be 1024)", o.Fsize)
+	}
+	g := d.Geom()
+	nsect := g.Zones[0].SPT
+	ntrak := g.Heads
+	spc := nsect * ntrak
+
+	sb := &Superblock{
+		FsMagic:   Magic,
+		Bsize:     int32(o.Bsize),
+		Fsize:     int32(o.Fsize),
+		Frag:      int32(o.Bsize / o.Fsize),
+		Cpg:       int32(o.Cpg),
+		Minfree:   int32(o.Minfree),
+		Rotdelay:  int32(o.Rotdelay),
+		Maxcontig: int32(o.Maxcontig),
+		Nsect:     int32(nsect),
+		Ntrak:     int32(ntrak),
+		Spc:       int32(spc),
+		Rps:       int32(g.RPM / 60),
+	}
+	ipb := int32(o.Bsize / DinodeSize)
+	sb.Ipg = (int32(o.Ipg) + ipb - 1) / ipb * ipb
+
+	totalFrags := g.TotalBytes() / int64(o.Fsize)
+	sb.Fpg = int32(o.Cpg) * int32(spc) * disk.SectorSize / int32(o.Fsize)
+	sb.Ncg = int32(totalFrags / int64(sb.Fpg))
+	if sb.Ncg < 1 {
+		return nil, fmt.Errorf("ufs: disk too small (%d frags/group, %d total)", sb.Fpg, totalFrags)
+	}
+	sb.Size = sb.Ncg * sb.Fpg
+	if sb.MetaFrags() >= sb.Fpg {
+		return nil, fmt.Errorf("ufs: group metadata (%d frags) exceeds group size (%d)", sb.MetaFrags(), sb.Fpg)
+	}
+	sb.Dsize = sb.Ncg * (sb.Fpg - sb.MetaFrags())
+	if o.Maxbpg == 0 {
+		o.Maxbpg = int(sb.Fpg / sb.Frag / 2)
+	}
+	sb.Maxbpg = int32(o.Maxbpg)
+
+	// Build each cylinder group: everything free except metadata.
+	dataBlocksPerGroup := (sb.Fpg - sb.MetaFrags()) / sb.Frag
+	for cgx := int32(0); cgx < sb.Ncg; cgx++ {
+		cg := NewCG(sb, cgx)
+		cg.Ndblk = sb.Fpg - sb.MetaFrags()
+		cg.Nifree = sb.Ipg
+		cg.Nbfree = dataBlocksPerGroup
+		for f := sb.MetaFrags(); f < sb.Fpg; f++ {
+			setBit(cg.Blksfree, f)
+		}
+		if cgx == 0 {
+			// Reserve inodes 0 and 1, allocate 2 for the root
+			// directory, and give it the group's first data block.
+			setBit(cg.Inosused, 0)
+			setBit(cg.Inosused, 1)
+			setBit(cg.Inosused, RootIno)
+			cg.Nifree -= 3
+			rootFsbn := sb.CgDmin(0)
+			for i := int32(0); i < sb.Frag; i++ {
+				clrBit(cg.Blksfree, sb.MetaFrags()+i)
+			}
+			cg.Nbfree--
+			cg.Ndir = 1
+
+			// Root directory data: "." and "..".
+			blk := make([]byte, sb.Bsize)
+			n := putDirent(blk, RootIno, ".")
+			putDirentLast(blk[n:], RootIno, "..", int(sb.Bsize)-n)
+			writeFrags(d, sb, rootFsbn, blk)
+
+			// Root dinode.
+			var di Dinode
+			di.Mode = ModeDir | 0o755
+			di.Nlink = 2
+			di.Size = int64(sb.Bsize)
+			di.DB[0] = rootFsbn
+			di.Blocks = sb.Frag
+			iblk := make([]byte, sb.Bsize)
+			readFrags(d, sb, sb.InoToFsba(RootIno), iblk)
+			di.MarshalInto(iblk[sb.InoBlockOff(RootIno):])
+			writeFrags(d, sb, sb.InoToFsba(RootIno), iblk)
+
+			sb.CsNdir = 1
+		}
+		sb.CsNbfree += cg.Nbfree
+		sb.CsNifree += cg.Nifree
+		writeFrags(d, sb, sb.CgHeader(cgx), cg.Marshal(sb))
+	}
+
+	sb.Clean = 1
+	// Primary superblock plus a copy in every group's reserve area.
+	for cgx := int32(0); cgx < sb.Ncg; cgx++ {
+		writeFrags(d, sb, sb.CgSBlock(cgx), sb.Marshal())
+	}
+	return sb, nil
+}
+
+// writeFrags writes fragment-aligned data straight to the image.
+func writeFrags(d *disk.Disk, sb *Superblock, fsbn int32, data []byte) {
+	if len(data)%int(sb.Fsize) != 0 {
+		panic("ufs: unaligned metadata write")
+	}
+	d.WriteImage(sb.FsbToDb(fsbn), data)
+}
+
+// readFrags reads fragment-aligned data straight from the image.
+func readFrags(d *disk.Disk, sb *Superblock, fsbn int32, data []byte) {
+	if len(data)%int(sb.Fsize) != 0 {
+		panic("ufs: unaligned metadata read")
+	}
+	d.ReadImage(sb.FsbToDb(fsbn), data)
+}
+
+// ReadSuperblock loads and validates the primary superblock from d.
+func ReadSuperblock(d *disk.Disk) (*Superblock, error) {
+	buf := make([]byte, SBSize)
+	d.ReadImage(int64(sbFragOffset*SBSize)/disk.SectorSize, buf)
+	return UnmarshalSuperblock(buf)
+}

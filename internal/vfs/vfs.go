@@ -1,0 +1,52 @@
+// Package vfs defines the vnode/vfs interfaces of [Kleiman]: the
+// contract between the kernel and a file system implementation. The
+// paper's point about these interfaces is architectural — "The UFS
+// interfaces (ufs_getpage, ufs_putpage) are general enough that no
+// changes were needed for clustering" (unlike S5FS's bread/bwrite,
+// which Peacock had to extend) — so the engine in internal/core is
+// required, by compile-time assertion, to satisfy them unchanged in
+// both its legacy and clustered configurations.
+package vfs
+
+import (
+	"ufsclust/internal/sim"
+	"ufsclust/internal/vm"
+)
+
+// File is an open vnode as the system-call layer sees it: the rdwr
+// entry points.
+type File interface {
+	// Read copies file data into buf from offset off (the read(2)
+	// path: map, fault, copy, unmap per block).
+	Read(p *sim.Proc, off int64, buf []byte) (int, error)
+	// Write copies buf into the file at off, allocating backing store
+	// as needed and handing dirty pages to PutPage on unmap.
+	Write(p *sim.Proc, off int64, data []byte) (int, error)
+	// Size returns the current file length.
+	Size() int64
+	// Fsync flushes delayed writes and waits for them.
+	Fsync(p *sim.Proc)
+	// Truncate resizes the file.
+	Truncate(p *sim.Proc, size int64) error
+}
+
+// Pager is the page-level interface a file system exposes to the VM
+// system: getpage/putpage. GetPage returns the page holding offset off;
+// PutPage accepts a dirty page back. Both may perform clustering
+// invisibly — that is the paper's thesis.
+type Pager interface {
+	GetPage(p *sim.Proc, vn Object, off int64) *vm.Page
+	PutPage(p *sim.Proc, vn Object, off int64)
+}
+
+// Object identifies a file for page naming; it must be the same object
+// the VM system writes back through.
+type Object = vm.Object
+
+// FS is the per-file-system-type factory: path operations returning
+// open files.
+type FS interface {
+	Open(p *sim.Proc, path string) (File, error)
+	Create(p *sim.Proc, path string) (File, error)
+	Remove(p *sim.Proc, path string) error
+}
