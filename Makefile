@@ -1,0 +1,24 @@
+# Extent-like Performance from a UNIX File System — reproduction.
+#
+# `make check` is the extended tier-1 gate (build + vet + simlint +
+# tests + race on the sim kernel); see scripts/check.sh and ROADMAP.md.
+
+.PHONY: all build test lint race check
+
+all: check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# lint runs only the simulation-hygiene analyzers (cmd/simlint).
+lint:
+	go run ./cmd/simlint ./...
+
+race:
+	go test -race ./internal/sim/...
+
+check:
+	scripts/check.sh

@@ -32,7 +32,12 @@ func main() {
 
 	s := sim.New(0)
 	p := disk.DefaultParams()
-	p.Geom = disk.UniformGeometry(*cyls, *heads, *spt, 3600)
+	geom, err := disk.NewGeometry(*heads, 3600, disk.Zone{Cylinders: *cyls, SPT: *spt})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkfs: %v\n", err)
+		os.Exit(2)
+	}
+	p.Geom = geom
 	d := disk.New(s, "sd0", p)
 	sb, err := ufs.Mkfs(d, ufs.MkfsOpts{
 		Rotdelay:  *rotdelay,

@@ -1,0 +1,196 @@
+// Package analysis is a self-contained static-analysis framework for
+// this repository, built only on the standard library (go/parser,
+// go/ast, go/types). It exists to machine-check the properties the
+// simulation's results depend on: the paper's throughput and CPU
+// figures are reproduced as ratios from a deterministic discrete-event
+// simulation, so host nondeterminism (wall-clock time, the global
+// random source, map iteration order, raw goroutines) must never leak
+// into simulated time or report output.
+//
+// The cmd/simlint CLI loads packages with Loader, runs the Analyzers
+// registry, and prints file:line:col: [rule] message diagnostics.
+// Individual findings are suppressed with a comment on the offending
+// line or the line above:
+//
+//	// simlint:ignore rule1 rule2   (or bare "simlint:ignore" for all)
+//	// simlint:invariant            (panicpath only: a genuine assertion)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// An Analyzer checks one rule over one type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo reports whether the rule is in force for the package
+	// with the given import path. RunAnalyzer ignores it (tests run
+	// analyzers on fixture packages directly); Run honours it.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Info returns the package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer applies a single analyzer to a loaded package,
+// unconditionally (AppliesTo is not consulted), and returns the
+// surviving diagnostics after suppression comments are honoured.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{Analyzer: a, Pkg: pkg}
+	a.Run(pass)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if !pkg.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Run loads the packages named by patterns (see Loader.Load) and
+// applies every registered analyzer whose AppliesTo accepts the
+// package. Diagnostics come back sorted by position.
+func Run(l *Loader, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			out = append(out, RunAnalyzer(a, pkg)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// Analyzers is the registry cmd/simlint runs by default.
+var Analyzers = []*Analyzer{
+	DetRand,
+	MapOrder,
+	NoGoroutine,
+	PanicPath,
+	UnitMix,
+}
+
+// FindAnalyzer returns the registered analyzer with the given name.
+func FindAnalyzer(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// suppression is one simlint control comment.
+type suppression struct {
+	line  int
+	rules []string // nil means all rules
+}
+
+// suppressed reports whether d is covered by a simlint:ignore (or
+// simlint:invariant, for panicpath) comment on its line or the line
+// immediately above.
+func (p *Package) suppressed(d Diagnostic) bool {
+	for _, s := range p.suppressions[d.Pos.Filename] {
+		if s.line != d.Pos.Line && s.line != d.Pos.Line-1 {
+			continue
+		}
+		if s.rules == nil {
+			return true
+		}
+		for _, r := range s.rules {
+			if r == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans a file's comments for simlint directives.
+func collectSuppressions(fset *token.FileSet, f *ast.File, into map[string][]suppression) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			text = strings.TrimSpace(text)
+			pos := fset.Position(c.Pos())
+			if strings.HasPrefix(text, "simlint:invariant") {
+				into[pos.Filename] = append(into[pos.Filename], suppression{
+					line:  pos.Line,
+					rules: []string{"panicpath"},
+				})
+				continue
+			}
+			if rest, ok := strings.CutPrefix(text, "simlint:ignore"); ok {
+				s := suppression{line: pos.Line}
+				// Anything after "--" (or nothing at all) is prose; bare
+				// directives suppress every rule on the line.
+				rest, _, _ = strings.Cut(rest, "--")
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					s.rules = fields
+				}
+				into[pos.Filename] = append(into[pos.Filename], s)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// update regenerates the golden files from current analyzer output:
+//
+//	go test ./internal/analysis -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// sharedLoader caches one loader (and its type-checked standard
+// library) across the golden subtests.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+// loadFixture loads the fixture package for one analyzer.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	pkgs, err := l.Load(filepath.Join("internal", "analysis", "testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// render formats diagnostics the way the golden files store them:
+// basename:line:col: [rule] message.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	}
+	return b.String()
+}
+
+// TestGolden runs each analyzer over its fixture package and compares
+// the diagnostics byte-for-byte with testdata/<name>.golden. Each
+// fixture contains at least one true positive, at least one clean
+// construct, and a suppression-comment path.
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers {
+		t.Run(a.Name, func(t *testing.T) {
+			pkg := loadFixture(t, a.Name)
+			got := render(RunAnalyzer(a, pkg))
+			goldenPath := filepath.Join("testdata", a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want (%s) ---\n%s", a.Name, got, goldenPath, want)
+			}
+			if !strings.Contains(got, "["+a.Name+"]") {
+				t.Errorf("golden output for %s demonstrates no true positive", a.Name)
+			}
+		})
+	}
+}
+
+// TestSuppressionPaths pins the two suppression spellings: a
+// rule-scoped simlint:ignore and the panicpath simlint:invariant
+// annotation, on the same line and on the line above.
+func TestSuppressionPaths(t *testing.T) {
+	pkg := loadFixture(t, "panicpath")
+	diags := RunAnalyzer(PanicPath, pkg)
+	if len(diags) != 1 {
+		t.Fatalf("panicpath fixture: got %d diagnostics, want exactly 1 (both invariant spellings suppressed): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 9 {
+		t.Errorf("surviving diagnostic at line %d, want the unannotated panic at line 9", diags[0].Pos.Line)
+	}
+}
+
+func TestAppliesToScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkg      string
+		want     bool
+	}{
+		{DetRand, "ufsclust/internal/core", true},
+		{DetRand, "ufsclust/internal/sim", true},
+		{DetRand, "ufsclust/internal/analysis", false},
+		{DetRand, "ufsclust/internal/detsort", false},
+		{DetRand, "ufsclust/cmd/simlint", false},
+		{MapOrder, "ufsclust/internal/ufs", true},
+		{MapOrder, "ufsclust/internal/analysis", false},
+		{NoGoroutine, "ufsclust/internal/core", true},
+		{NoGoroutine, "ufsclust/internal/ufs", true},
+		{NoGoroutine, "ufsclust/internal/sim", false}, // the kernel owns the real channels
+		{NoGoroutine, "ufsclust/internal/iobench", false},
+		{PanicPath, "ufsclust/internal/analysis", true},
+		{PanicPath, "ufsclust/cmd/fsck", false},
+		{UnitMix, "ufsclust/cmd/iobench", true},
+		{UnitMix, "ufsclust/internal/disk", true},
+		{UnitMix, "othermodule/pkg", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestFindAnalyzer(t *testing.T) {
+	for _, a := range Analyzers {
+		if FindAnalyzer(a.Name) != a {
+			t.Errorf("FindAnalyzer(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if FindAnalyzer("nosuchrule") != nil {
+		t.Error("FindAnalyzer of unknown name should return nil")
+	}
+}
+
+// TestRepositoryClean is the self-hosting gate: the repository must
+// produce zero unsuppressed findings under its own linter, so later
+// perf PRs inherit a tree where every determinism hazard is either
+// fixed or explicitly annotated.
+func TestRepositoryClean(t *testing.T) {
+	l := testLoader(t)
+	diags, err := Run(l, []string{"./..."}, Analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids ambient sources of host nondeterminism: wall-clock
+// time and the process-global random source. Simulation code must get
+// time from Sim.Now() (virtual nanoseconds) and randomness from
+// Sim.Rand (seeded at construction), or every run of a workload would
+// schedule differently and the paper's throughput ratios would not
+// replay.
+var DetRand = &Analyzer{
+	Name:      "detrand",
+	Doc:       "forbid time.Now/time.Since and global math/rand in simulation code; use Sim.Now()/Sim.Rand",
+	AppliesTo: simScope,
+	Run:       runDetRand,
+}
+
+// forbiddenTimeFuncs are package "time" functions that read the host
+// clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Tick":  true,
+	"After": true,
+	"Sleep": true,
+}
+
+// allowedRandFuncs are the constructors of explicitly-seeded sources;
+// everything else at package level in math/rand (Intn, Int63, Float64,
+// Perm, Shuffle, Seed, ...) draws from the global source.
+var allowedRandFuncs = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+}
+
+func runDetRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info().Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (e.g. (*rand.Rand).Intn on Sim.Rand) are fine;
+			// only package-level functions touch ambient state.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch pkgPath := fn.Pkg().Path(); pkgPath {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s reads the host clock; use Sim.Now() / Proc.Sleep for virtual time", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[pkgPath][fn.Name()] {
+					pass.Reportf(sel.Pos(), "global rand.%s is seeded per-process; draw from Sim.Rand so runs replay", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map in simulation code. Go
+// randomizes map iteration order per run, so a map walk whose order
+// reaches event scheduling, statistics, or report output makes runs
+// unreproducible byte-for-byte. The sanctioned pattern is to collect
+// the keys (or values) and sort them before acting — detsort.Keys, or
+// a local collect-then-sort. A range loop is therefore exempt when a
+// sorting call (from package sort, slices, or internal/detsort)
+// follows it inside the same top-level function — the
+// collect-then-sort idiom — and flagged otherwise.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "forbid order-dependent map iteration in simulation code; collect keys and sort (detsort.Keys)",
+	AppliesTo: simScope,
+	Run:       runMapOrder,
+}
+
+// sortingPkgs are the packages whose calls sanction a preceding
+// collect loop.
+var sortingPkgs = map[string]bool{
+	"sort":                           true,
+	"slices":                         true,
+	modulePath + "/internal/detsort": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body)
+		}
+	}
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	// Every sorting-call position in the function, so a collect loop
+	// can be matched with the sort that follows it.
+	var sortCalls []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info().Uses[sel.Sel].(*types.Func)
+		if ok && fn.Pkg() != nil && sortingPkgs[fn.Pkg().Path()] {
+			sortCalls = append(sortCalls, call)
+		}
+		return true
+	})
+	sortedAfter := func(rng *ast.RangeStmt) bool {
+		for _, c := range sortCalls {
+			if c.Pos() > rng.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info().Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortedAfter(rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "map iteration order is nondeterministic; collect keys and sort (detsort.Keys) before use")
+		return true
+	})
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoGoroutine forbids host concurrency primitives — `go` statements,
+// channel sends, channel receives, `select`, and ranging over a
+// channel — in the simulation-model packages (core, ufs, vm, disk,
+// driver, extfs). Model code runs under the cooperative sim scheduler:
+// exactly one sim process executes at a time, handed control over the
+// kernel's internal channels, so shared state needs no locking and
+// event order is reproducible. A raw goroutine or channel in model
+// code reintroduces the host scheduler into event ordering and breaks
+// both guarantees. All concurrency goes through sim.Proc (Spawn,
+// Sleep, Block) and the wait/semaphore primitives in internal/sim.
+var NoGoroutine = &Analyzer{
+	Name:      "nogoroutine",
+	Doc:       "forbid go statements and raw channel operations in simulation-model packages; use sim.Proc",
+	AppliesTo: func(path string) bool { return modelPkgs[path] },
+	Run:       runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) {
+	isChan := func(e ast.Expr) bool {
+		tv, ok := pass.Info().Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isc := tv.Type.Underlying().(*types.Chan)
+		return isc
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in model code hands scheduling to the host; use Sim.Spawn")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in model code; use sim.WaitQ / sim.Semaphore")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in model code; block on sim primitives instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in model code; use sim.WaitQ / sim.Semaphore")
+				}
+			case *ast.RangeStmt:
+				if isChan(n.X) {
+					pass.Reportf(n.Pos(), "range over channel in model code; use sim primitives")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicPath flags panic(...) in library code. A panic that can be
+// reached through the exported API tears down the whole simulation —
+// including the deterministic replay a user may be in the middle of —
+// where an error return would let the caller report and continue.
+// Genuine invariant assertions (corruption checks that indicate a bug
+// in this repository, not bad input) are annotated at the panic site:
+//
+//	panic("ufs: freeing free fragment") // simlint:invariant
+//
+// which suppresses this rule and documents the audit decision.
+var PanicPath = &Analyzer{
+	Name:      "panicpath",
+	Doc:       "flag panic in library code; return an error, or annotate invariant assertions with // simlint:invariant",
+	AppliesTo: libScope,
+	Run:       runPanicPath,
+}
+
+func runPanicPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.Info().Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code; return an error, or mark a true assertion with // simlint:invariant")
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "strings"
+
+// modulePath is the import-path root the rule scopes below are keyed
+// on. The loader discovers the real module path from go.mod; these
+// filters are written against this repository's layout.
+const modulePath = "ufsclust"
+
+// toolingPkgs are host-side developer tooling: they never run inside
+// the simulation, so the determinism rules do not apply to them.
+var toolingPkgs = map[string]bool{
+	modulePath + "/internal/analysis": true,
+	modulePath + "/internal/detsort":  true,
+}
+
+// modelPkgs are the simulation-model packages: all concurrency in them
+// must go through sim.Proc and the sim wait/semaphore primitives, never
+// raw goroutines or channels. The sim kernel itself is the one place
+// host goroutines and channels are allowed — that is the implementation
+// of the cooperative scheduler.
+var modelPkgs = map[string]bool{
+	modulePath + "/internal/core":   true,
+	modulePath + "/internal/ufs":    true,
+	modulePath + "/internal/vm":     true,
+	modulePath + "/internal/disk":   true,
+	modulePath + "/internal/driver": true,
+	modulePath + "/internal/extfs":  true,
+}
+
+func isInternal(path string) bool {
+	return strings.HasPrefix(path, modulePath+"/internal/")
+}
+
+// simScope is the scope of the determinism rules (detrand, maporder):
+// everything under internal/ except host-side tooling.
+func simScope(path string) bool {
+	return isInternal(path) && !toolingPkgs[path]
+}
+
+// libScope is the scope of the library-hygiene rules (panicpath): all
+// internal packages, tooling included.
+func libScope(path string) bool {
+	return isInternal(path)
+}
+
+// moduleScope covers every package in the module, commands included.
+func moduleScope(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the detrand rule: ambient time and the
+// global random source are forbidden; explicit seeded sources and
+// methods on them are fine.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() time.Time {
+	start := time.Now()
+	_ = time.Since(start)
+	_ = rand.Intn(6)
+	rand.Shuffle(3, func(i, j int) {})
+	time.Sleep(time.Millisecond)
+	return start
+}
+
+func good() {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(6)
+	_ = r.Float64()
+}
+
+func suppressed() time.Time {
+	return time.Now() // simlint:ignore detrand -- host-side timing utility, never in sim scope
+}

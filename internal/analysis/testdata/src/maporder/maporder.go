@@ -1,0 +1,49 @@
+// Package fixture exercises the maporder rule: bare map iteration is
+// flagged; the collect-then-sort idiom and explicit suppressions pass.
+package fixture
+
+import "sort"
+
+func bad(m map[int]string) string {
+	out := ""
+	for _, v := range m {
+		out += v
+	}
+	return out
+}
+
+func badNested(m map[string]int) int {
+	total := 0
+	if len(m) > 0 {
+		for _, v := range m {
+			total += v
+		}
+	}
+	return total
+}
+
+func collectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func suppressed(m map[int]string) int {
+	n := 0
+	// simlint:ignore maporder -- counting entries is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceIterationIsFine(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

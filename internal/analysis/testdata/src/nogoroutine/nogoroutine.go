@@ -1,0 +1,29 @@
+// Package fixture exercises the nogoroutine rule: raw goroutines and
+// channel operations are forbidden in simulation-model code.
+package fixture
+
+func bad(ch chan int, done chan struct{}) int {
+	go func() { ch <- 1 }()
+	v := <-ch
+	select {
+	case <-done:
+	default:
+	}
+	for x := range ch {
+		v += x
+	}
+	return v
+}
+
+func suppressed(ch chan int) {
+	// simlint:ignore nogoroutine -- host-side bridge, documented exception
+	ch <- 1
+}
+
+func plainControlFlowIsFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

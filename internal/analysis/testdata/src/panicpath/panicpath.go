@@ -1,0 +1,32 @@
+// Package fixture exercises the panicpath rule: panics in library code
+// are flagged unless annotated as audited invariant assertions.
+package fixture
+
+import "errors"
+
+func bad(x int) int {
+	if x < 0 {
+		panic("negative input")
+	}
+	return x * 2
+}
+
+func betterAsError(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative input")
+	}
+	return x * 2, nil
+}
+
+func invariantSameLine(state int) {
+	if state != 0 {
+		panic("corrupt internal state") // simlint:invariant -- callers cannot reach this
+	}
+}
+
+func invariantLineAbove(state int) {
+	if state != 0 {
+		// simlint:invariant -- checked by construction in New
+		panic("corrupt internal state")
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the unitmix rule: additive arithmetic
+// mixing sim.Time with bare integer literals is flagged; named units,
+// scalar multiplication, and 0/1 pass.
+package fixture
+
+import "ufsclust/internal/sim"
+
+func bad(t sim.Time) sim.Time {
+	t = t + 100
+	d := t - 4096
+	t += 250
+	half := t / 2
+	return t + d + half
+}
+
+func good(t sim.Time) sim.Time {
+	t = t + 3*sim.Millisecond
+	t = t + 1
+	t = t - 0
+	t += sim.Microsecond
+	u := 10 * sim.Microsecond // scalar * unit is how durations are built
+	blocks := int64(t) / 8192 // converted out of sim.Time first: a count
+	return t + u + sim.Time(blocks)
+}
+
+func suppressed(t sim.Time) sim.Time {
+	return t + 42 // simlint:ignore unitmix -- calibration fudge documented elsewhere
+}

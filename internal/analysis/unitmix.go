@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitMix flags additive arithmetic mixing sim.Time with a bare
+// untyped integer literal other than 0 or 1. sim.Time is nanoseconds;
+// the codebase also traffics in block counts, fragment counts, sector
+// counts, and byte offsets, all plain integers, so `t + 512` is as
+// likely a block-count bug as a deliberate half-microsecond. Durations
+// are built from the named units instead (3*sim.Millisecond), which
+// scalar multiplication supports: `N * sim.Microsecond` stays legal,
+// while `t + 100` and `t - 4096` are flagged. 0 (zero duration) and 1
+// (one tick, and the idiom `t - 1` for "just before t") stay legal.
+var UnitMix = &Analyzer{
+	Name:      "unitmix",
+	Doc:       "flag sim.Time +/- bare integer literals; build durations from sim.Nanosecond..sim.Second",
+	AppliesTo: moduleScope,
+	Run:       runUnitMix,
+}
+
+// assignOps maps the flagged op-assignment tokens to their operator.
+var assignOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD,
+	token.SUB_ASSIGN: token.SUB,
+	token.QUO_ASSIGN: token.QUO,
+	token.REM_ASSIGN: token.REM,
+}
+
+func runUnitMix(pass *Pass) {
+	check := func(pos token.Pos, op token.Token, lit *ast.BasicLit, other ast.Expr) {
+		if lit == nil || lit.Value == "0" || lit.Value == "1" {
+			return
+		}
+		if !isSimTime(pass, other) {
+			return
+		}
+		pass.Reportf(pos, "sim.Time %s bare literal %s mixes time with a unitless count; use the sim duration units", op, lit.Value)
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.QUO, token.REM:
+				default:
+					return true
+				}
+				if lit := bareIntLiteral(n.X); lit != nil {
+					check(n.Pos(), n.Op, lit, n.Y)
+				} else {
+					check(n.Pos(), n.Op, bareIntLiteral(n.Y), n.X)
+				}
+			case *ast.AssignStmt:
+				op, ok := assignOps[n.Tok]
+				if !ok || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				check(n.Pos(), op, bareIntLiteral(n.Rhs[0]), n.Lhs[0])
+			}
+			return true
+		})
+	}
+}
+
+// bareIntLiteral unwraps parens and unary +/- and returns the integer
+// literal underneath, or nil.
+func bareIntLiteral(e ast.Expr) *ast.BasicLit {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.ADD && x.Op != token.SUB {
+				return nil
+			}
+			e = x.X
+		case *ast.BasicLit:
+			if x.Kind == token.INT {
+				return x
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isSimTime reports whether e's type is the named type sim.Time.
+func isSimTime(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info().Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == modulePath+"/internal/sim"
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ufsclust/internal/sim"
+	"ufsclust/internal/ufs"
+)
+
+// determinismWorkload drives the full data path — allocation, clustered
+// writes, fsync, random and sequential reads, purge, remove, metadata
+// sync — drawing every "random" choice from the sim's seeded source.
+func determinismWorkload(t *testing.T, r *rig) {
+	t.Helper()
+	r.run(t, func(p *sim.Proc) {
+		rnd := r.s.Rand
+		buf := make([]byte, 8192)
+		sizes := make([]int, 3)
+		for i := range sizes {
+			name := fmt.Sprintf("/f%d", i)
+			f, err := r.eng.Create(p, name)
+			if err != nil {
+				t.Errorf("create %s: %v", name, err)
+				return
+			}
+			size := 64<<10 + rnd.Intn(5)*8192
+			sizes[i] = size
+			data := make([]byte, size)
+			pattern(data, int64(i))
+			for off := 0; off < size; off += 8192 {
+				end := off + 8192
+				if end > size {
+					end = size
+				}
+				if _, err := f.Write(p, int64(off), data[off:end]); err != nil {
+					t.Errorf("write %s @%d: %v", name, off, err)
+					return
+				}
+			}
+			f.Fsync(p)
+		}
+		f, err := r.eng.Open(p, "/f0")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			off := int64(rnd.Intn(sizes[0]/8192)) * 8192
+			if _, err := f.Read(p, off, buf); err != nil {
+				t.Errorf("random read @%d: %v", off, err)
+				return
+			}
+		}
+		f.Purge(p)
+		for off := int64(0); off < f.Size(); off += 8192 {
+			if _, err := f.Read(p, off, buf); err != nil {
+				t.Errorf("sequential read @%d: %v", off, err)
+				return
+			}
+		}
+		if err := r.eng.Remove(p, "/f1"); err != nil {
+			t.Errorf("remove: %v", err)
+			return
+		}
+		r.fs.Sync(p)
+	})
+}
+
+// traceRun executes the workload on a fresh rig with the scheduler
+// trace captured, then checks the image offline, returning everything
+// that must be reproducible: the scheduling trace, the engine's event
+// counters, the final virtual time, and the fsck report text.
+func traceRun(t *testing.T) (trace string, stats Stats, now sim.Time, fsck string) {
+	t.Helper()
+	mk, cfg := clusteredOpts()
+	r := newRig(t, mk, cfg, 240<<10)
+	var tw bytes.Buffer
+	r.s.TraceW = &tw
+	determinismWorkload(t, r)
+	r.fs.SyncImage()
+	rep, err := ufs.Fsck(r.d)
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("workload left an inconsistent file system: %v", rep.Problems)
+	}
+	return tw.String(), r.eng.Stats, r.s.Now(), fmt.Sprintf("%+v", *rep)
+}
+
+// firstDiff returns the first line index (1-based) where a and b
+// differ, with the differing lines, for a readable failure message.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestSameSeedReplaysByteIdentical is the determinism regression gate:
+// two runs of the same workload from the same seed must make exactly
+// the same scheduling decisions at exactly the same virtual times and
+// leave exactly the same report text behind. Everything the simlint
+// rules guard (map order, ambient time, raw goroutines) shows up here
+// first as a trace divergence.
+func TestSameSeedReplaysByteIdentical(t *testing.T) {
+	trace1, stats1, now1, fsck1 := traceRun(t)
+	trace2, stats2, now2, fsck2 := traceRun(t)
+	if trace1 == "" {
+		t.Fatal("empty scheduler trace: TraceW is not capturing")
+	}
+	if trace1 != trace2 {
+		t.Errorf("scheduler traces diverge: %s", firstDiff(trace1, trace2))
+	}
+	if stats1 != stats2 {
+		t.Errorf("engine stats diverge:\nrun1: %+v\nrun2: %+v", stats1, stats2)
+	}
+	if now1 != now2 {
+		t.Errorf("final virtual time diverges: %v vs %v", now1, now2)
+	}
+	if fsck1 != fsck2 {
+		t.Errorf("fsck reports diverge: %s", firstDiff(fsck1, fsck2))
+	}
+}

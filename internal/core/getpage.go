@@ -56,7 +56,7 @@ func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
 		var err error
 		fsbn, _, err = e.FS.Bmap(p, vn.IP, lbn)
 		if err != nil {
-			panic(err)
+			panic(err) // simlint:invariant -- lbn is bounded by the Read path before getpage
 		}
 		e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
 		pg, cached = e.VM.Lookup(vn, lbn*int64(sb.Bsize))
@@ -114,7 +114,7 @@ func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks 
 
 	fsbn, contig, err := e.FS.Bmap(p, vn.IP, lbn)
 	if err != nil {
-		panic(err)
+		panic(err) // simlint:invariant -- lbn is bounded by the Read path before getpage
 	}
 	// The transfer must fit the driver: a cluster is at most
 	// min(maxcontig, maxphys/bsize) blocks.

@@ -66,10 +66,10 @@ func (e *Engine) push(p *sim.Proc, vn *Vnode, off, length int64, limit bool) {
 		}
 		fsbn, contig, err := e.FS.Bmap(p, vn.IP, lbn)
 		if err != nil {
-			panic(err)
+			panic(err) // simlint:invariant -- lbn is bounded by the Write path before push
 		}
 		if fsbn == 0 {
-			panic("core: dirty page over a hole")
+			panic("core: dirty page over a hole") // simlint:invariant -- writes allocate backing before dirtying
 		}
 		if !e.Cfg.Clustered {
 			contig = 1

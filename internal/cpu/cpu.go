@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"ufsclust/internal/detsort"
 	"ufsclust/internal/sim"
 )
 
@@ -58,7 +59,7 @@ type Model struct {
 // New returns a model rated at mips million instructions per second.
 func New(s *sim.Sim, mips float64) *Model {
 	if mips <= 0 {
-		panic("cpu: non-positive MIPS")
+		panic("cpu: non-positive MIPS") // simlint:invariant -- harness configuration assertion at construction
 	}
 	return &Model{
 		MIPS:    mips,
@@ -109,8 +110,8 @@ func (m *Model) ChargeInterrupt(c Category, instr int64) {
 // SystemTime returns total charged CPU time (process + interrupt).
 func (m *Model) SystemTime() sim.Time {
 	var t sim.Time
-	for _, b := range m.buckets {
-		t += b.Time
+	for _, c := range detsort.Keys(m.buckets) {
+		t += m.buckets[c].Time
 	}
 	return t
 }
@@ -126,6 +127,7 @@ func (m *Model) Utilization() float64 {
 // Buckets returns a copy of the per-category accounting.
 func (m *Model) Buckets() map[Category]Bucket {
 	out := make(map[Category]Bucket, len(m.buckets))
+	// simlint:ignore maporder -- copying into a map is order-insensitive.
 	for c, b := range m.buckets {
 		out[c] = *b
 	}
@@ -142,7 +144,12 @@ func (m *Model) Report() string {
 	for c, b := range m.buckets {
 		rows = append(rows, row{c, *b})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].b.Time > rows[j].b.Time })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].b.Time != rows[j].b.Time {
+			return rows[i].b.Time > rows[j].b.Time
+		}
+		return rows[i].c < rows[j].c // tie-break so reports are byte-stable
+	})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-12s %12s %10s %8s\n", "category", "instructions", "cpu", "calls")
 	for _, r := range rows {

@@ -1,0 +1,36 @@
+// Package detsort provides deterministic-iteration helpers for maps.
+//
+// Go randomizes map iteration order on purpose, which is exactly wrong
+// for a deterministic simulation: any map walk whose order can reach
+// event scheduling, statistics, or report output makes runs
+// unreproducible. Simulation code that must visit every entry of a map
+// collects the keys with these helpers and iterates the sorted slice
+// instead. The simlint "maporder" rule (internal/analysis) enforces the
+// convention.
+package detsort
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the keys of m sorted in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// KeysFunc returns the keys of m sorted by the given comparison
+// function, for key types that are not cmp.Ordered (structs, pointers).
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, less)
+	return keys
+}

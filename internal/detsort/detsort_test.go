@@ -1,0 +1,36 @@
+package detsort
+
+import (
+	"cmp"
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[int32]string{9: "i", 1: "a", 4: "d", -3: "n"}
+	for try := 0; try < 8; try++ {
+		got := Keys(m)
+		want := []int32{-3, 1, 4, 9}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if got := Keys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	type pt struct{ x, y int }
+	m := map[pt]bool{{2, 1}: true, {1, 9}: true, {1, 2}: true}
+	got := KeysFunc(m, func(a, b pt) int {
+		if c := cmp.Compare(a.x, b.x); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.y, b.y)
+	})
+	want := []pt{{1, 2}, {1, 9}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KeysFunc = %v, want %v", got, want)
+	}
+}

@@ -150,10 +150,10 @@ func (d *Disk) QueueLen() int { return len(d.q) }
 // context. Completion is reported through r.Done.
 func (d *Disk) Submit(r *Request) {
 	if r.Count <= 0 || r.Sector < 0 || r.Sector+int64(r.Count) > d.P.Geom.TotalSectors() {
-		panic("disk: request out of range")
+		panic("disk: request out of range") // simlint:invariant -- driver validates transfers before queueing
 	}
 	if len(r.Data) != r.Count*SectorSize {
-		panic("disk: request data length mismatch")
+		panic("disk: request data length mismatch") // simlint:invariant -- driver validates transfers before queueing
 	}
 	r.queued = d.Sim.Now()
 	d.q = append(d.q, r)
@@ -353,7 +353,7 @@ func (d *Disk) WriteImage(sector int64, data []byte) { d.writeImage(sector, data
 
 func (d *Disk) readImage(sector int64, buf []byte) {
 	if len(buf)%SectorSize != 0 {
-		panic("disk: image access not sector aligned")
+		panic("disk: image access not sector aligned") // simlint:invariant -- offline callers use block-multiple buffers
 	}
 	off := sector * SectorSize
 	for len(buf) > 0 {
@@ -377,7 +377,7 @@ func (d *Disk) readImage(sector int64, buf []byte) {
 
 func (d *Disk) writeImage(sector int64, data []byte) {
 	if len(data)%SectorSize != 0 {
-		panic("disk: image access not sector aligned")
+		panic("disk: image access not sector aligned") // simlint:invariant -- offline callers use block-multiple buffers
 	}
 	off := sector * SectorSize
 	for len(data) > 0 {

@@ -41,7 +41,10 @@ func TestGeometryLocateRoundTrip(t *testing.T) {
 }
 
 func TestGeometryLocateExhaustiveSmall(t *testing.T) {
-	g := NewGeometry(2, 3600, Zone{Cylinders: 3, SPT: 4}, Zone{Cylinders: 2, SPT: 6})
+	g, err := NewGeometry(2, 3600, Zone{Cylinders: 3, SPT: 4}, Zone{Cylinders: 2, SPT: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantTotal := int64(3*2*4 + 2*2*6)
 	if g.TotalSectors() != wantTotal {
 		t.Fatalf("TotalSectors = %d, want %d", g.TotalSectors(), wantTotal)

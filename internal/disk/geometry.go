@@ -48,9 +48,12 @@ const (
 )
 
 // NewGeometry builds a geometry and precomputes its derived tables.
-func NewGeometry(heads, rpm int, zones ...Zone) *Geometry {
+// It rejects physically senseless descriptions: geometry reaches this
+// constructor from user input (mkfs flags, image-file headers), so bad
+// values are an error, not a crash.
+func NewGeometry(heads, rpm int, zones ...Zone) (*Geometry, error) {
 	if heads <= 0 || rpm <= 0 || len(zones) == 0 {
-		panic("disk: invalid geometry")
+		return nil, fmt.Errorf("disk: invalid geometry: %d heads, %d rpm, %d zones", heads, rpm, len(zones))
 	}
 	g := &Geometry{Heads: heads, Zones: zones, RPM: rpm}
 	rot := 60 * Second / Time(rpm)
@@ -58,7 +61,7 @@ func NewGeometry(heads, rpm int, zones ...Zone) *Geometry {
 	var sec int64
 	for _, z := range zones {
 		if z.Cylinders <= 0 || z.SPT <= 0 {
-			panic("disk: invalid zone")
+			return nil, fmt.Errorf("disk: invalid zone: %d cylinders, %d sectors/track", z.Cylinders, z.SPT)
 		}
 		g.zoneStart = append(g.zoneStart, sec)
 		g.zoneCyl = append(g.zoneCyl, cyl)
@@ -69,12 +72,23 @@ func NewGeometry(heads, rpm int, zones ...Zone) *Geometry {
 		cyl += z.Cylinders
 	}
 	g.totalSectors = sec
+	return g, nil
+}
+
+// mustGeometry unwraps NewGeometry for the preset constructors below,
+// which are built from compile-time constants.
+func mustGeometry(g *Geometry, err error) *Geometry {
+	if err != nil {
+		panic(err) // simlint:invariant -- preset geometry constants are known good
+	}
 	return g
 }
 
 // UniformGeometry is the common case: one zone across all cylinders.
+// It panics on a senseless description; callers with untrusted values
+// use NewGeometry directly.
 func UniformGeometry(cylinders, heads, spt, rpm int) *Geometry {
-	return NewGeometry(heads, rpm, Zone{Cylinders: cylinders, SPT: spt})
+	return mustGeometry(NewGeometry(heads, rpm, Zone{Cylinders: cylinders, SPT: spt}))
 }
 
 // DefaultGeometry models the paper's 400 MB SCSI drive: 3600 RPM,
@@ -87,11 +101,11 @@ func DefaultGeometry() *Geometry {
 // ZonedGeometry models a variable-geometry drive of roughly the same
 // capacity with three zones (72/64/48 sectors per track).
 func ZonedGeometry() *Geometry {
-	return NewGeometry(8, 3600,
+	return mustGeometry(NewGeometry(8, 3600,
 		Zone{Cylinders: 500, SPT: 72},
 		Zone{Cylinders: 520, SPT: 64},
 		Zone{Cylinders: 560, SPT: 48},
-	)
+	))
 }
 
 // TotalSectors returns the drive capacity in sectors.
@@ -135,7 +149,7 @@ func (g *Geometry) Track(c CHS) int64 {
 // Locate decodes an absolute sector number.
 func (g *Geometry) Locate(sector int64) CHS {
 	if sector < 0 || sector >= g.totalSectors {
-		panic(fmt.Sprintf("disk: sector %d out of range [0,%d)", sector, g.totalSectors))
+		panic(fmt.Sprintf("disk: sector %d out of range [0,%d)", sector, g.totalSectors)) // simlint:invariant -- sector numbers are computed from this geometry
 	}
 	z := len(g.zoneStart) - 1
 	for z > 0 && sector < g.zoneStart[z] {

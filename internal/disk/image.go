@@ -92,7 +92,11 @@ func (d *Disk) LoadImage(r io.Reader) error {
 		}
 		zones[i] = Zone{Cylinders: int(cyl), SPT: int(spt)}
 	}
-	d.P.Geom = NewGeometry(int(heads), int(rpm), zones...)
+	g, err := NewGeometry(int(heads), int(rpm), zones...)
+	if err != nil {
+		return fmt.Errorf("disk: bad image geometry: %w", err)
+	}
+	d.P.Geom = g
 	var n int64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return err

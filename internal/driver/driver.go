@@ -103,7 +103,7 @@ func New(s *sim.Sim, d *disk.Disk, cpuModel *cpu.Model, cfg Config) *Driver {
 		cfg.MaxPhys = DefaultMaxPhys
 	}
 	if cfg.MaxPhys%disk.SectorSize != 0 {
-		panic("driver: MaxPhys not sector aligned")
+		panic("driver: MaxPhys not sector aligned") // simlint:invariant -- harness configuration assertion at construction
 	}
 	return &Driver{Cfg: cfg, Disk: d, CPU: cpuModel, Sim: s}
 }
@@ -121,13 +121,13 @@ func (dr *Driver) QueueLen() int { return len(dr.queue) }
 // nil proc, scheduler context (no CPU charge).
 func (dr *Driver) Strategy(p *sim.Proc, b *Buf) {
 	if len(b.Data) == 0 || len(b.Data)%disk.SectorSize != 0 {
-		panic("driver: transfer not a positive sector multiple")
+		panic("driver: transfer not a positive sector multiple") // simlint:invariant -- callers construct block-aligned transfers
 	}
 	if len(b.Data) > dr.Cfg.MaxPhys {
-		panic(fmt.Sprintf("driver: transfer %d exceeds maxphys %d", len(b.Data), dr.Cfg.MaxPhys))
+		panic(fmt.Sprintf("driver: transfer %d exceeds maxphys %d", len(b.Data), dr.Cfg.MaxPhys)) // simlint:invariant -- core caps clusters at maxphys/bsize
 	}
 	if b.Blkno < 0 || b.End() > dr.Disk.Geom().TotalSectors() {
-		panic("driver: transfer outside device")
+		panic("driver: transfer outside device") // simlint:invariant -- fs allocator never hands out blocks past the device
 	}
 	if dr.CPU != nil && p != nil {
 		dr.CPU.Use(p, cpu.Driver, dr.Cfg.StrategyInstr)

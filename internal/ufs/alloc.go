@@ -174,7 +174,7 @@ func (fs *Fs) takeBlock(p *sim.Proc, cg *CG, rel int32) int32 {
 // one. nfrags must be in [1, frag).
 func (fs *Fs) AllocFrags(p *sim.Proc, ip *Inode, pref int32, nfrags int32) (int32, error) {
 	if nfrags <= 0 || nfrags >= fs.SB.Frag {
-		panic("ufs: AllocFrags wants a partial block")
+		panic("ufs: AllocFrags wants a partial block") // simlint:invariant -- callers pre-round to fragment policy
 	}
 	fs.chargeCPU(p, cpu.Alloc, allocInstr)
 	fs.FragAllocs++
@@ -268,7 +268,7 @@ func fragRun(cg *CG, rel, frag, nfrags int32) (int32, bool) {
 // failure the caller reallocates.
 func (fs *Fs) ExtendFrags(p *sim.Proc, ip *Inode, fsbn int32, oldFrags, newFrags int32) (bool, error) {
 	if newFrags <= oldFrags || newFrags > fs.SB.Frag {
-		panic("ufs: bad ExtendFrags request")
+		panic("ufs: bad ExtendFrags request") // simlint:invariant -- write path computes in-range extensions
 	}
 	fs.chargeCPU(p, cpu.Alloc, allocInstr/2)
 	need := newFrags - oldFrags
@@ -297,7 +297,7 @@ func (fs *Fs) ExtendFrags(p *sim.Proc, ip *Inode, fsbn int32, oldFrags, newFrags
 	if wasWhole {
 		// We just broke a whole free block (the tail frags sat at its
 		// start... impossible: old frags were allocated). Defensive.
-		panic("ufs: ExtendFrags on a free block")
+		panic("ufs: ExtendFrags on a free block") // simlint:invariant -- bitmap corruption assertion
 	}
 	cg.Nffree -= need
 	fs.SB.CsNffree -= need
@@ -314,7 +314,7 @@ func (fs *Fs) ExtendFrags(p *sim.Proc, ip *Inode, fsbn int32, oldFrags, newFrags
 // into a whole free block when possible.
 func (fs *Fs) FreeFrags(p *sim.Proc, fsbn int32, nfrags int32) error {
 	if nfrags <= 0 || nfrags > fs.SB.Frag {
-		panic("ufs: bad FreeFrags count")
+		panic("ufs: bad FreeFrags count") // simlint:invariant -- callers free what Alloc returned
 	}
 	cgx := fs.SB.DtoCg(fsbn)
 	cg, err := fs.loadCG(p, cgx)
@@ -325,7 +325,7 @@ func (fs *Fs) FreeFrags(p *sim.Proc, fsbn int32, nfrags int32) error {
 	frag := fs.SB.Frag
 	for i := int32(0); i < nfrags; i++ {
 		if bitSet(cg.Blksfree, rel+i) {
-			panic("ufs: freeing free fragment")
+			panic("ufs: freeing free fragment") // simlint:invariant -- bitmap corruption assertion
 		}
 		setBit(cg.Blksfree, rel+i)
 	}
@@ -404,7 +404,7 @@ func (fs *Fs) IFree(p *sim.Proc, ino int32, wasDir bool) error {
 	}
 	rel := ino % fs.SB.Ipg
 	if !bitSet(cg.Inosused, rel) {
-		panic("ufs: freeing free inode")
+		panic("ufs: freeing free inode") // simlint:invariant -- bitmap corruption assertion
 	}
 	clrBit(cg.Inosused, rel)
 	cg.Nifree++

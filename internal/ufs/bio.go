@@ -2,6 +2,7 @@ package ufs
 
 import (
 	"ufsclust/internal/cpu"
+	"ufsclust/internal/detsort"
 	"ufsclust/internal/driver"
 	"ufsclust/internal/sim"
 )
@@ -93,10 +94,14 @@ func (bc *Bcache) getblk(p *sim.Proc, fsbn int32) *MBuf {
 	return b
 }
 
-// evictable picks the least-recently released non-busy buffer.
+// evictable picks the least-recently released non-busy buffer. The
+// walk visits buffers in block order so that an lru tie (possible when
+// buffers are installed without ever being released) picks the same
+// victim on every run.
 func (bc *Bcache) evictable() *MBuf {
 	var victim *MBuf
-	for _, b := range bc.bufs {
+	for _, fsbn := range detsort.Keys(bc.bufs) {
+		b := bc.bufs[fsbn]
 		if b.busy {
 			continue
 		}
@@ -230,9 +235,12 @@ func (bc *Bcache) iowrite(p *sim.Proc, b *MBuf) {
 	bc.Writes++
 }
 
-// Flush writes every dirty buffer (sync/unmount path).
+// Flush writes every dirty buffer (sync/unmount path) in ascending
+// block order, so the sequence of simulated writes — and therefore
+// virtual time — replays identically run to run.
 func (bc *Bcache) Flush(p *sim.Proc) {
-	for _, b := range bc.bufs {
+	for _, fsbn := range detsort.Keys(bc.bufs) {
+		b := bc.bufs[fsbn]
 		if b.dirty && !b.busy {
 			b.busy = true
 			b.dirty = false
@@ -246,7 +254,8 @@ func (bc *Bcache) Flush(p *sim.Proc) {
 // FlushImage spills every dirty buffer straight to the image with no
 // simulated time: the offline path used before fsck in tests.
 func (bc *Bcache) FlushImage() {
-	for _, b := range bc.bufs {
+	for _, fsbn := range detsort.Keys(bc.bufs) {
+		b := bc.bufs[fsbn]
 		if b.dirty {
 			bc.Drv.Disk.WriteImage(bc.sb.FsbToDb(b.Fsbn), b.Data)
 			b.dirty = false

@@ -173,7 +173,7 @@ func (fs *Fs) BmapAlloc(p *sim.Proc, ip *Inode, lbn int64, size int) (int32, err
 	ip.InvalidateBmapCache()
 	fs.chargeCPU(p, cpu.Bmap, bmapInstr)
 	if size <= 0 || size > int(fs.SB.Bsize) {
-		panic("ufs: BmapAlloc size out of range")
+		panic("ufs: BmapAlloc size out of range") // simlint:invariant -- write path sizes requests from the superblock
 	}
 	needFrags := (int32(size) + fs.SB.Fsize - 1) / fs.SB.Fsize
 	if lbn >= NDADDR {

@@ -42,7 +42,7 @@ func putDirent(buf []byte, ino int32, name string) int {
 // putDirentLast writes an entry with an explicit record length.
 func putDirentLast(buf []byte, ino int32, name string, reclen int) int {
 	if len(name) == 0 || len(name) > MaxNameLen {
-		panic("ufs: bad dirent name")
+		panic("ufs: bad dirent name") // simlint:invariant -- DirEnter validates names before this point
 	}
 	putIndir(buf, 0, ino) // same little-endian u32 encoding
 	buf[4] = byte(reclen)

@@ -3,6 +3,7 @@ package ufs
 import (
 	"fmt"
 
+	"ufsclust/internal/detsort"
 	"ufsclust/internal/disk"
 )
 
@@ -18,7 +19,7 @@ type FsckReport struct {
 // Clean reports whether no problems were found.
 func (r *FsckReport) Clean() bool { return len(r.Problems) == 0 }
 
-func (r *FsckReport) addf(format string, args ...interface{}) {
+func (r *FsckReport) addf(format string, args ...any) {
 	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
 }
 
@@ -244,7 +245,10 @@ func Fsck(d *disk.Disk) (*FsckReport, error) {
 	}
 	walk(RootIno, RootIno, 0)
 
-	for ino, info := range inodes {
+	// Walk inodes in ascending order so the report is byte-stable: a
+	// map-order walk here would shuffle problem lines between runs.
+	for _, ino := range detsort.Keys(inodes) {
+		info := inodes[ino]
 		if info.links != info.di.Nlink {
 			r.addf("ino %d: link count %d, found %d references", ino, info.di.Nlink, info.links)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ufsclust/internal/cpu"
+	"ufsclust/internal/detsort"
 	"ufsclust/internal/driver"
 	"ufsclust/internal/sim"
 )
@@ -206,15 +207,17 @@ func (fs *Fs) storeCG(p *sim.Proc, cg *CG) {
 }
 
 // Sync writes back every dirty inode, cylinder group, the superblock,
-// and flushes the metadata cache.
+// and flushes the metadata cache. Inodes and groups are visited in
+// ascending number order so the resulting I/O sequence — and therefore
+// virtual time — is identical on every run.
 func (fs *Fs) Sync(p *sim.Proc) {
-	for _, ip := range fs.itable {
-		if ip.dirty {
+	for _, ino := range detsort.Keys(fs.itable) {
+		if ip := fs.itable[ino]; ip.dirty {
 			fs.IUpdate(p, ip, false)
 		}
 	}
-	for _, cg := range fs.cgs {
-		fs.storeCG(p, cg)
+	for _, cgx := range detsort.Keys(fs.cgs) {
+		fs.storeCG(p, fs.cgs[cgx])
 	}
 	b := fs.BC.getblk(p, sbFragOffset)
 	if !b.valid {
@@ -229,7 +232,8 @@ func (fs *Fs) Sync(p *sim.Proc) {
 // image with no simulated time, so fsck and direct image inspection see
 // a consistent file system.
 func (fs *Fs) SyncImage() {
-	for _, ip := range fs.itable {
+	for _, ino := range detsort.Keys(fs.itable) {
+		ip := fs.itable[ino]
 		b := make([]byte, fs.SB.Bsize)
 		fsba := fs.SB.InoToFsba(ip.Ino)
 		// Merge through the buffer cache if the block is cached there.
@@ -246,7 +250,8 @@ func (fs *Fs) SyncImage() {
 		ip.dirty = false
 	}
 	fs.BC.FlushImage()
-	for _, cg := range fs.cgs {
+	for _, cgx := range detsort.Keys(fs.cgs) {
+		cg := fs.cgs[cgx]
 		writeFrags(fs.Drv.Disk, fs.SB, fs.SB.CgHeader(cg.Cgx), cg.Marshal(fs.SB))
 	}
 	writeFrags(fs.Drv.Disk, fs.SB, sbFragOffset, fs.SB.Marshal())

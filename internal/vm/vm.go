@@ -9,6 +9,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/sim"
@@ -60,7 +61,7 @@ func (pg *Page) Busy() bool { return pg.busy }
 // SetBusy locks the page. The caller must know it is unlocked.
 func (pg *Page) SetBusy() {
 	if pg.busy {
-		panic("vm: page already busy")
+		panic("vm: page already busy") // simlint:invariant -- page lifecycle bug, not caller input
 	}
 	pg.busy = true
 }
@@ -145,7 +146,7 @@ func New(s *sim.Sim, cpuModel *cpu.Model, cfg Config) *VM {
 	}
 	n := int(cfg.MemBytes / PageSize)
 	if n < 8 {
-		panic(fmt.Sprintf("vm: %d bytes is too little memory", cfg.MemBytes))
+		panic(fmt.Sprintf("vm: %d bytes is too little memory", cfg.MemBytes)) // simlint:invariant -- harness configuration assertion at construction
 	}
 	if cfg.Lotsfree == 0 {
 		cfg.Lotsfree = n / 16
@@ -223,7 +224,7 @@ func (v *VM) Lookup(obj Object, off int64) (*Page, bool) {
 // waking the pageout daemon. The page must not already be cached.
 func (v *VM) Alloc(p *sim.Proc, obj Object, off int64) *Page {
 	if _, ok := v.hash[key{obj, off}]; ok {
-		panic("vm: Alloc of cached page")
+		panic("vm: Alloc of cached page") // simlint:invariant -- page lifecycle bug, not caller input
 	}
 	v.Stats.Allocs++
 	if len(v.free) < v.lotsfree {
@@ -259,10 +260,10 @@ func (v *VM) Alloc(p *sim.Proc, obj Object, off int64) *Page {
 // this so sequential I/O recycles its own pages.
 func (v *VM) Free(pg *Page, front bool) {
 	if pg.busy {
-		panic("vm: freeing busy page")
+		panic("vm: freeing busy page") // simlint:invariant -- page lifecycle bug, not caller input
 	}
 	if pg.dirty {
-		panic("vm: freeing dirty page")
+		panic("vm: freeing dirty page") // simlint:invariant -- page lifecycle bug, not caller input
 	}
 	if pg.onFree {
 		return
@@ -283,7 +284,7 @@ func (v *VM) Free(pg *Page, front bool) {
 // list; used by truncate/unlink.
 func (v *VM) Destroy(pg *Page) {
 	if pg.busy {
-		panic("vm: destroying busy page")
+		panic("vm: destroying busy page") // simlint:invariant -- page lifecycle bug, not caller input
 	}
 	if pg.Obj != nil {
 		delete(v.hash, key{pg.Obj, pg.Off})
@@ -299,8 +300,11 @@ func (v *VM) Destroy(pg *Page) {
 	v.memWait.WakeAll()
 }
 
-// ObjectPages returns the cached pages of obj in no particular order,
-// including pages resting on the free list.
+// ObjectPages returns the cached pages of obj ordered by file offset,
+// including pages resting on the free list. The order matters: callers
+// (Purge, Truncate) destroy the pages in sequence, which reshapes the
+// free list, so a map-order walk here would leak host randomness into
+// later allocations.
 func (v *VM) ObjectPages(obj Object) []*Page {
 	var out []*Page
 	for k, pg := range v.hash {
@@ -308,6 +312,7 @@ func (v *VM) ObjectPages(obj Object) []*Page {
 			out = append(out, pg)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
 	return out
 }
 
@@ -320,7 +325,7 @@ func (v *VM) removeFree(pg *Page) {
 			return
 		}
 	}
-	panic("vm: page marked free but not on list")
+	panic("vm: page marked free but not on list") // simlint:invariant -- free-list/flag consistency assertion
 }
 
 // KickDaemon wakes the pageout daemon.

@@ -1,0 +1,41 @@
+#!/bin/sh
+# check.sh — the extended tier-1 gate (see ROADMAP.md).
+#
+# Runs, in order:
+#   1. go build ./...                      everything compiles
+#   2. go vet ./...                        stock vet findings
+#   3. simlint ./...                       determinism & simulation-hygiene
+#                                          rules (internal/analysis); the
+#                                          tree must be clean or explicitly
+#                                          annotated
+#   4. go test ./...                       the full test suite, including
+#                                          the same-seed replay gate and
+#                                          the simlint golden tests
+#   5. go test -race ./internal/sim/...    the one package that touches
+#                                          host goroutines and channels
+#
+# Usage: scripts/check.sh  (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> simlint ./..."
+go build -o "$tmp/simlint" ./cmd/simlint
+"$tmp/simlint" ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/sim/..."
+go test -race ./internal/sim/...
+
+echo "check: all gates passed"
