@@ -3,7 +3,7 @@
 # `make check` is the extended tier-1 gate (build + vet + simlint +
 # tests + race on the sim kernel); see scripts/check.sh and ROADMAP.md.
 
-.PHONY: all build test lint race check
+.PHONY: all build test lint race check bench
 
 all: check
 
@@ -22,3 +22,8 @@ race:
 
 check:
 	scripts/check.sh
+
+# bench measures the sim kernel's host cost and refreshes BENCH_sim.json
+# (the committed baseline is carried forward; see scripts/bench.sh).
+bench:
+	scripts/bench.sh

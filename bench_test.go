@@ -21,6 +21,7 @@ import (
 	"ufsclust/internal/iobench"
 	"ufsclust/internal/musbus"
 	"ufsclust/internal/raw"
+	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/trace"
 	"ufsclust/internal/ufs"
@@ -66,6 +67,7 @@ func benchPlacement(b *testing.B, rotdelay int) (gapBlocks int32) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer m.Close()
 		gapBlocks = m.FS.SB.GapBlocks()
 		err = m.Run(func(p *sim.Proc) {
 			ip, err := m.FS.Create(p, "/f")
@@ -133,6 +135,25 @@ func BenchmarkFig11Ratios(b *testing.B) {
 	}
 }
 
+// BenchmarkIObenchMatrixParallel runs the full A–D × kinds matrix
+// through the parallel orchestrator (one worker per host CPU). The
+// per-cell results are identical to the serial path — each cell is its
+// own sealed simulation — so this measures pure host-side speedup on
+// the repo's heaviest workload.
+func BenchmarkIObenchMatrixParallel(b *testing.B) {
+	var tab *iobench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = iobench.RunAllParallel(ufsclust.Runs(), iobench.Kinds(), benchParams(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, k := range iobench.Kinds() {
+		b.ReportMetric(tab.Ratio("A", "D", k), "A/D-"+string(k))
+	}
+}
+
 // --- Figure 12: CPU comparison ---------------------------------------------
 
 func BenchmarkFig12CPUCompare(b *testing.B) {
@@ -173,6 +194,7 @@ func BenchmarkAllocatorExtentsBestCase(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer m.Close()
 		err = m.Run(func(p *sim.Proc) {
 			rep, err := alloclab.BestCase(p, m.FS, 13<<20)
 			if err != nil {
@@ -195,6 +217,7 @@ func BenchmarkAllocatorExtentsWorstCase(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer m.Close()
 		err = m.Run(func(p *sim.Proc) {
 			rep, err := alloclab.WorstCase(p, m.FS, 16<<20,
 				alloclab.AgeOpts{TargetFull: 0.85, Churn: 2})
@@ -237,52 +260,70 @@ func BenchmarkMusBus(b *testing.B) {
 // Too small a limit kills the elevator's chance to sort; 240 KB keeps
 // most of the unlimited rate.
 func BenchmarkWriteLimitSweep(b *testing.B) {
-	for _, limitKB := range []int{8, 56, 240, 0} {
-		limitKB := limitKB
-		name := fmt.Sprintf("limit=%dKB", limitKB)
-		if limitKB == 0 {
-			name = "unlimited"
-		}
-		b.Run(name, func(b *testing.B) {
-			var rate float64
-			for i := 0; i < b.N; i++ {
-				o := ufsclust.RunA().Options()
-				o.Mount.WriteLimit = int64(limitKB) << 10
-				m, err := ufsclust.NewMachine(o)
-				if err != nil {
-					b.Fatal(err)
-				}
-				const n = 256
-				var elapsed sim.Time
-				err = m.Run(func(p *sim.Proc) {
-					f, err := m.Engine.Create(p, "/sweep")
-					if err != nil {
-						b.Error(err)
-						return
-					}
-					f.Write(p, 0, make([]byte, 8<<20))
-					f.Fsync(p)
-					m.ResetStats()
-					buf := make([]byte, 8192)
-					t0 := p.Now()
-					for j := 0; j < n; j++ {
-						off := int64(j/2) * 8192
-						if j%2 == 1 {
-							off = 8<<20 - int64(j/2+1)*8192
-						}
-						f.Write(p, off, buf)
-					}
-					f.Fsync(p)
-					elapsed = p.Now() - t0
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				rate = float64(n*8192) / 1024 / elapsed.Seconds()
-			}
-			b.ReportMetric(rate, "virtKB/s")
+	limitsKB := []int{8, 56, 240, 0}
+	var rates []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		// The sweep points are independent machines, so they run through
+		// the parallel runner; the rates come back in point order.
+		rates, err = runner.Map(len(limitsKB), runner.Options{}, func(job int) (float64, error) {
+			return writeLimitRate(int64(limitsKB[job]) << 10)
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
+	for j, limitKB := range limitsKB {
+		name := fmt.Sprintf("limit%dKB-virtKB/s", limitKB)
+		if limitKB == 0 {
+			name = "unlimited-virtKB/s"
+		}
+		b.ReportMetric(rates[j], name)
+	}
+}
+
+// writeLimitRate measures the fairness-stress rate under one write
+// limit. It is runner-safe: its machine is private and it reports
+// failures as errors rather than through a *testing.B.
+func writeLimitRate(limit int64) (float64, error) {
+	o := ufsclust.RunA().Options()
+	o.Mount.WriteLimit = limit
+	m, err := ufsclust.NewMachine(o)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	const n = 256
+	var elapsed sim.Time
+	var runErr error
+	err = m.Run(func(p *sim.Proc) {
+		f, err := m.Engine.Create(p, "/sweep")
+		if err != nil {
+			runErr = err
+			return
+		}
+		f.Write(p, 0, make([]byte, 8<<20))
+		f.Fsync(p)
+		m.ResetStats()
+		buf := make([]byte, 8192)
+		t0 := p.Now()
+		for j := 0; j < n; j++ {
+			off := int64(j/2) * 8192
+			if j%2 == 1 {
+				off = 8<<20 - int64(j/2+1)*8192
+			}
+			f.Write(p, off, buf)
+		}
+		f.Fsync(p)
+		elapsed = p.Now() - t0
+	})
+	if err != nil {
+		return 0, err
+	}
+	if runErr != nil {
+		return 0, runErr
+	}
+	return float64(n*8192) / 1024 / elapsed.Seconds(), nil
 }
 
 // --- Rejected alternative: tuning only (track buffer) ------------------------
@@ -303,6 +344,7 @@ func BenchmarkTrackBufferTradeoff(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer m.Close()
 			const size = 4 << 20
 			var elapsed sim.Time
 			err = m.Run(func(p *sim.Proc) {
@@ -366,6 +408,7 @@ func BenchmarkDriverClustering(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer m.Close()
 			const size = 4 << 20
 			var elapsed sim.Time
 			err = m.Run(func(p *sim.Proc) {
@@ -468,6 +511,7 @@ func BenchmarkExtentVsCluster(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer m.Close()
 			var elapsed sim.Time
 			err = m.Run(func(p *sim.Proc) {
 				f, err := m.Engine.Create(p, "/seq")
@@ -581,6 +625,7 @@ func BenchmarkFwBmapCache(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				defer m.Close()
 				err = m.Run(func(p *sim.Proc) {
 					f, err := m.Engine.Create(p, "/big")
 					if err != nil {
@@ -623,6 +668,7 @@ func BenchmarkFwSkipBmapOnHit(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				defer m.Close()
 				err = m.Run(func(p *sim.Proc) {
 					f, err := m.Engine.Create(p, "/warm")
 					if err != nil {
@@ -672,6 +718,7 @@ func BenchmarkFwRandomClustering(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				defer m.Close()
 				const size = 8 << 20
 				var elapsed sim.Time
 				var moved int64
@@ -724,6 +771,7 @@ func BenchmarkFwOrderedRmStar(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				defer m.Close()
 				const nfiles = 64
 				err = m.Run(func(p *sim.Proc) {
 					for j := 0; j < nfiles; j++ {
@@ -759,23 +807,49 @@ func BenchmarkFwOrderedRmStar(b *testing.B) {
 // showing the dead end the paper escaped: every rotdelay caps
 // sequential reads near half the disk, and zero trades writes away.
 func BenchmarkRotdelaySweep(b *testing.B) {
-	for _, rot := range []int{8, 4, 0} {
-		rot := rot
-		b.Run(fmt.Sprintf("rotdelay=%dms", rot), func(b *testing.B) {
-			var readR, writeR float64
-			for i := 0; i < b.N; i++ {
-				readR = seqRate(b, rot, false, false)
-				writeR = seqRate(b, rot, false, true)
-			}
-			b.ReportMetric(readR, "read-virtKB/s")
-			b.ReportMetric(writeR, "write-virtKB/s")
+	rots := []int{8, 4, 0}
+	// Each (rotdelay, direction) pair is an independent machine; the
+	// runner spreads the six of them over the host cores.
+	type point struct {
+		rot   int
+		write bool
+	}
+	var points []point
+	for _, rot := range rots {
+		points = append(points, point{rot, false}, point{rot, true})
+	}
+	var rates []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		rates, err = runner.Map(len(points), runner.Options{}, func(job int) (float64, error) {
+			return seqRateErr(points[job].rot, false, points[job].write)
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for j, pt := range points {
+		dir := "read"
+		if pt.write {
+			dir = "write"
+		}
+		b.ReportMetric(rates[j], fmt.Sprintf("rot%dms-%s-virtKB/s", pt.rot, dir))
 	}
 }
 
 // seqRate measures a sequential 4MB read or write on the legacy engine
 // (or clustered when clustered is true).
 func seqRate(b *testing.B, rotdelay int, clustered, write bool) float64 {
+	rate, err := seqRateErr(rotdelay, clustered, write)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rate
+}
+
+// seqRateErr is the runner-safe form of seqRate: private machine,
+// errors returned rather than reported to a *testing.B.
+func seqRateErr(rotdelay int, clustered, write bool) (float64, error) {
 	o := ufsclust.Options{
 		Mkfs: ufs.MkfsOpts{Rotdelay: rotdelay, Maxcontig: 1},
 	}
@@ -789,14 +863,16 @@ func seqRate(b *testing.B, rotdelay int, clustered, write bool) float64 {
 	}
 	m, err := ufsclust.NewMachine(o)
 	if err != nil {
-		b.Fatal(err)
+		return 0, err
 	}
+	defer m.Close()
 	const size = 4 << 20
 	var elapsed sim.Time
+	var runErr error
 	err = m.Run(func(p *sim.Proc) {
 		f, err := m.Engine.Create(p, "/r")
 		if err != nil {
-			b.Error(err)
+			runErr = err
 			return
 		}
 		chunk := make([]byte, 8192)
@@ -819,9 +895,12 @@ func seqRate(b *testing.B, rotdelay int, clustered, write bool) float64 {
 		elapsed = p.Now() - t0
 	})
 	if err != nil {
-		b.Fatal(err)
+		return 0, err
 	}
-	return float64(size) / 1024 / elapsed.Seconds()
+	if runErr != nil {
+		return 0, runErr
+	}
+	return float64(size) / 1024 / elapsed.Seconds(), nil
 }
 
 // --- Ablation: read-ahead ---------------------------------------------------
@@ -845,6 +924,7 @@ func BenchmarkReadAheadAblation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				defer m.Close()
 				const size = 4 << 20
 				var elapsed sim.Time
 				err = m.Run(func(p *sim.Proc) {

@@ -23,10 +23,16 @@ func main() {
 	full := flag.Float64("full", 0.85, "fragmented-fill target fraction")
 	churn := flag.Int("churn", 3, "delete/refill churn cycles")
 	layout := flag.Bool("layout", false, "print Figures 4/5 block placement instead")
+	sweep := flag.Bool("sweep", false, "sweep worst-case contiguity across fill fractions instead")
+	parallel := flag.Int("parallel", 0, "host workers for -sweep (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *layout {
 		printLayout()
+		return
+	}
+	if *sweep {
+		printSweep(int64(*worstMB)<<20, *churn, *parallel)
 		return
 	}
 
@@ -49,6 +55,7 @@ func measure(fn func(p *sim.Proc, fs *ufs.Fs) (*alloclab.Report, error)) *allocl
 	if err != nil {
 		fatal(err)
 	}
+	defer m.Close()
 	var rep *alloclab.Report
 	err = m.Run(func(p *sim.Proc) {
 		var ferr error
@@ -61,6 +68,32 @@ func measure(fn func(p *sim.Proc, fs *ufs.Fs) (*alloclab.Report, error)) *allocl
 		fatal(err)
 	}
 	return rep
+}
+
+// printSweep runs the aging sweep: worst-case contiguity as a function
+// of how full the aged file system is, each point an independent
+// machine, in parallel across host workers.
+func printSweep(fileBytes int64, churn, workers int) {
+	fills := []float64{0.5, 0.6, 0.7, 0.8, 0.85, 0.9}
+	points := make([]alloclab.SweepPoint, len(fills))
+	for i, f := range fills {
+		points[i] = alloclab.SweepPoint{
+			FileBytes: fileBytes,
+			Age:       alloclab.AgeOpts{TargetFull: f, Churn: churn},
+		}
+	}
+	results, err := alloclab.SweepWorstCase(ufsclust.RunA(), points, workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("worst-case contiguity vs fill fraction (%dMB file, churn %d)\n", fileBytes>>20, churn)
+	fmt.Printf("%8s %12s %12s %8s\n", "full", "avg extent", "max extent", "extents")
+	for _, r := range results {
+		fmt.Printf("%7.0f%% %11dK %11dK %8d\n",
+			r.Point.Age.TargetFull*100,
+			r.Report.AvgExtent()>>10, r.Report.MaxExtent()>>10, len(r.Report.Extents))
+	}
+	fmt.Println("  paper: average extent 62KB in a 16MB file on the aged /home partition")
 }
 
 // printLayout shows where the allocator places the first blocks of a
@@ -102,6 +135,7 @@ func printLayout() {
 			}
 			fmt.Println()
 		})
+		m.Close()
 		if err != nil {
 			fatal(err)
 		}

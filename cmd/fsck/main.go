@@ -30,6 +30,7 @@ func main() {
 	defer f.Close()
 
 	s := sim.New(0)
+	defer s.Close()
 	d := disk.New(s, "sd0", disk.DefaultParams())
 	if err := d.LoadImage(f); err != nil {
 		fmt.Fprintf(os.Stderr, "fsck: %v\n", err)

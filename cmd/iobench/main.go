@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-list] [-ratios]
+//	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-list] [-ratios] [-parallel N]
+//
+// -parallel runs the (run, kind) matrix on N host workers (0 means
+// GOMAXPROCS). Every cell is an independent deterministic simulation,
+// so the output is byte-identical to the serial run.
 package main
 
 import (
@@ -23,6 +27,7 @@ func main() {
 	runsFlag := flag.String("runs", "A,B,C,D", "comma-separated run configurations")
 	list := flag.Bool("list", false, "print Figure 9 (run descriptions) and exit")
 	ratiosOnly := flag.Bool("ratios", false, "print only Figure 11 (ratios)")
+	parallel := flag.Int("parallel", 1, "host workers for the run×kind matrix (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	all := map[string]ufsclust.RunConfig{}
@@ -50,7 +55,7 @@ func main() {
 	}
 
 	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops}
-	tab, err := iobench.RunAll(runs, iobench.Kinds(), prm)
+	tab, err := iobench.RunAllParallel(runs, iobench.Kinds(), prm, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
 		os.Exit(1)

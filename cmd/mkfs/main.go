@@ -31,6 +31,7 @@ func main() {
 	}
 
 	s := sim.New(0)
+	defer s.Close()
 	p := disk.DefaultParams()
 	geom, err := disk.NewGeometry(*heads, 3600, disk.Zone{Cylinders: *cyls, SPT: *spt})
 	if err != nil {

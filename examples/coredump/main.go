@@ -31,6 +31,7 @@ func run(limit int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer m.Close()
 
 	var worst, total sim.Time
 	var nreads int

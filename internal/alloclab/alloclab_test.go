@@ -1,8 +1,10 @@
 package alloclab
 
 import (
+	"reflect"
 	"testing"
 
+	"ufsclust"
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/disk"
 	"ufsclust/internal/driver"
@@ -13,6 +15,7 @@ import (
 func newFs(t *testing.T, cyls int) (*sim.Sim, *ufs.Fs, *disk.Disk) {
 	t.Helper()
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	dp := disk.DefaultParams()
 	dp.Geom = disk.UniformGeometry(cyls, 8, 64, 3600)
 	d := disk.New(s, "d0", dp)
@@ -140,5 +143,33 @@ func TestMeasureFileCountsTailFragments(t *testing.T) {
 	})
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers pins the sweep contract: the
+// parallel aging sweep produces exactly the serial results, point for
+// point, because every point is an independent machine.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	points := []SweepPoint{
+		{FileBytes: 2 << 20, Age: AgeOpts{TargetFull: 0.6, Churn: 1}},
+		{FileBytes: 2 << 20, Age: AgeOpts{TargetFull: 0.8, Churn: 1}},
+	}
+	serial, err := SweepWorstCase(ufsclust.RunA(), points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepWorstCase(ufsclust.RunA(), points, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Report.Extents, parallel[i].Report.Extents) {
+			t.Fatalf("point %d: serial extents %v != parallel extents %v",
+				i, serial[i].Report.Extents, parallel[i].Report.Extents)
+		}
+	}
+	if serial[0].Report.AvgExtent() <= serial[1].Report.AvgExtent() {
+		t.Logf("note: avg extent did not shrink with fill (%d vs %d) — small config",
+			serial[0].Report.AvgExtent(), serial[1].Report.AvgExtent())
 	}
 }

@@ -111,12 +111,15 @@ func TestAppliesToScopes(t *testing.T) {
 		{DetRand, "ufsclust/internal/sim", true},
 		{DetRand, "ufsclust/internal/analysis", false},
 		{DetRand, "ufsclust/internal/detsort", false},
+		{DetRand, "ufsclust/internal/runner", false},
 		{DetRand, "ufsclust/cmd/simlint", false},
 		{MapOrder, "ufsclust/internal/ufs", true},
 		{MapOrder, "ufsclust/internal/analysis", false},
+		{MapOrder, "ufsclust/internal/runner", false},
 		{NoGoroutine, "ufsclust/internal/core", true},
 		{NoGoroutine, "ufsclust/internal/ufs", true},
 		{NoGoroutine, "ufsclust/internal/sim", false}, // the kernel owns the real channels
+		{NoGoroutine, "ufsclust/internal/runner", false}, // the runner's worker pool is host-side by design
 		{NoGoroutine, "ufsclust/internal/iobench", false},
 		{PanicPath, "ufsclust/internal/analysis", true},
 		{PanicPath, "ufsclust/cmd/fsck", false},
@@ -128,6 +131,42 @@ func TestAppliesToScopes(t *testing.T) {
 		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
 		}
+	}
+}
+
+// TestRunnerToolingExemption pins internal/runner's registration as
+// host-side tooling: the full analyzer suite over the real package must
+// produce exactly the diagnostics in testdata/runner.golden — an empty
+// file, because the runner's goroutines and sync primitives are exempt
+// by scope, not by suppression comments. If the runner is ever dropped
+// from toolingPkgs, nogoroutine findings appear here first.
+func TestRunnerToolingExemption(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.Load("internal/runner")
+	if err != nil {
+		t.Fatalf("load internal/runner: %v", err)
+	}
+	var got string
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			got += render(RunAnalyzer(a, pkg))
+		}
+	}
+	goldenPath := filepath.Join("testdata", "runner.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("runner diagnostics mismatch\n--- got ---\n%s--- want (%s) ---\n%s", got, goldenPath, want)
 	}
 }
 

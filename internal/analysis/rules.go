@@ -12,6 +12,10 @@ const modulePath = "ufsclust"
 var toolingPkgs = map[string]bool{
 	modulePath + "/internal/analysis": true,
 	modulePath + "/internal/detsort":  true,
+	// runner is the host-side parallel experiment orchestrator: its
+	// worker goroutines run whole simulations, they never run inside
+	// one, so the determinism and no-goroutine rules do not apply.
+	modulePath + "/internal/runner": true,
 }
 
 // modelPkgs are the simulation-model packages: all concurrency in them

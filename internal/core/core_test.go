@@ -24,6 +24,7 @@ type rig struct {
 func newRig(t *testing.T, mkfs ufs.MkfsOpts, cfg Config, writeLimit int64) *rig {
 	t.Helper()
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	cm := cpu.New(s, 12)
 	dp := disk.DefaultParams()
 	dp.Geom = disk.UniformGeometry(96, 8, 64, 3600) // ~25 MB
@@ -112,6 +113,7 @@ func testWriteReadBack(t *testing.T, mk ufs.MkfsOpts, cfg Config, size int) {
 		t.Fatalf("fsck: %v %v", err, rep.Problems)
 	}
 	s2 := sim.New(9)
+	defer s2.Close()
 	d2 := r.d // same image; fresh everything else
 	dr2 := driver.New(s2, d2, nil, driver.DefaultConfig())
 	_ = dr2

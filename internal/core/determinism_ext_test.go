@@ -1,0 +1,64 @@
+// Byte-identical replay gates for the full workloads, complementing the
+// engine-level gate in determinism_test.go. These run a complete
+// iobench cell and a complete musbus mix twice each, capturing the
+// scheduler trace, and require the two traces to match byte for byte.
+// The fast-path kernel (value-heap event queue, ring ready queue,
+// hand-off dispatch) must be invisible here: host-side speed may change,
+// the dispatch sequence may not.
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ufsclust"
+	"ufsclust/internal/iobench"
+	"ufsclust/internal/musbus"
+	"ufsclust/internal/sim"
+)
+
+func TestIobenchReplayByteIdentical(t *testing.T) {
+	run := func() ([]byte, iobench.Result) {
+		var tw bytes.Buffer
+		prm := iobench.Params{FileMB: 1, RandomOps: 16, Seed: 3, TraceW: &tw}
+		res, err := iobench.Run(ufsclust.RunD(), iobench.FSW, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tw.Bytes(), res
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if len(t1) == 0 {
+		t.Fatal("empty scheduler trace: TraceW not wired through iobench")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("iobench FSW traces differ between identical runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if r1 != r2 {
+		t.Fatalf("iobench FSW results differ between identical runs:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestMusbusReplayByteIdentical(t *testing.T) {
+	run := func() ([]byte, musbus.Result) {
+		var tw bytes.Buffer
+		prm := musbus.Params{Users: 3, Duration: 20 * sim.Second, Seed: 9, TraceW: &tw}
+		res, err := musbus.Run(ufsclust.RunA(), prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tw.Bytes(), res
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if len(t1) == 0 {
+		t.Fatal("empty scheduler trace: TraceW not wired through musbus")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("musbus traces differ between identical runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if r1 != r2 {
+		t.Fatalf("musbus results differ between identical runs:\n%+v\n%+v", r1, r2)
+	}
+}

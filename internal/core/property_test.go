@@ -166,6 +166,7 @@ func TestCrashLosesOnlyUnsyncedData(t *testing.T) {
 
 	// A fresh machine boots from a copy of the platter.
 	s2 := sim.New(99)
+	t.Cleanup(s2.Close)
 	var img bytes.Buffer
 	if err := r.d.DumpImage(&img); err != nil {
 		t.Fatal(err)

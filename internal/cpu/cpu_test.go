@@ -9,6 +9,7 @@ import (
 
 func TestInstrTime(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	m := New(s, 12) // 12 MIPS
 	// 12 million instructions = 1 second.
 	if got := m.InstrTime(12_000_000); got != sim.Second {
@@ -21,6 +22,7 @@ func TestInstrTime(t *testing.T) {
 
 func TestUseAdvancesClockAndAccounts(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	m := New(s, 12)
 	s.Spawn("p", func(p *sim.Proc) {
 		m.Use(p, Copy, 24_000)
@@ -44,6 +46,7 @@ func TestUseAdvancesClockAndAccounts(t *testing.T) {
 
 func TestSingleCPUSerializes(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	m := New(s, 12)
 	var ends []sim.Time
 	for i := 0; i < 2; i++ {
@@ -62,6 +65,7 @@ func TestSingleCPUSerializes(t *testing.T) {
 
 func TestInterruptChargeDoesNotBlock(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	m := New(s, 12)
 	s.Spawn("p", func(p *sim.Proc) {
 		m.ChargeInterrupt(Interrupt, 12_000)
@@ -79,6 +83,7 @@ func TestInterruptChargeDoesNotBlock(t *testing.T) {
 
 func TestUtilization(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	m := New(s, 12)
 	s.Spawn("p", func(p *sim.Proc) {
 		m.Use(p, Misc, 12_000) // 1ms busy
@@ -94,6 +99,7 @@ func TestUtilization(t *testing.T) {
 
 func TestReportAndReset(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	m := New(s, 12)
 	s.Spawn("p", func(p *sim.Proc) {
 		m.Use(p, GetPage, 5000)

@@ -33,6 +33,7 @@ func MmapRead(rc ufsclust.RunConfig, fileMB int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Close()
 	size := int64(fileMB) << 20
 	res := Result{Label: rc.Name, FileMB: fileMB}
 	err = m.Run(func(p *sim.Proc) {
@@ -68,6 +69,7 @@ func ReadWithCopy(rc ufsclust.RunConfig, fileMB int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Close()
 	size := int64(fileMB) << 20
 	res := Result{Label: rc.Name, FileMB: fileMB}
 	err = m.Run(func(p *sim.Proc) {

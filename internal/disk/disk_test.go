@@ -87,6 +87,7 @@ func TestBlockTimeMatchesPaper(t *testing.T) {
 
 func TestImageReadWriteRoundTrip(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	data := make([]byte, 3*SectorSize)
 	for i := range data {
@@ -109,6 +110,7 @@ func TestImageReadWriteRoundTrip(t *testing.T) {
 
 func TestImageCrossesChunkBoundary(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	data := make([]byte, 4*chunkSectors*SectorSize)
 	for i := range data {
@@ -125,6 +127,7 @@ func TestImageCrossesChunkBoundary(t *testing.T) {
 
 func TestTimedWriteThenReadMovesData(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	data := make([]byte, 16*SectorSize)
 	for i := range data {
@@ -155,6 +158,7 @@ func TestSequentialContiguousReadNearMediaRate(t *testing.T) {
 	// close to the media rate, losing only seek + initial latency +
 	// skew-covered head switches.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	p := DefaultParams()
 	p.TrackBuffer = false
 	d := New(s, "d0", p)
@@ -193,6 +197,7 @@ func TestContiguousReadWithTrackBufferNearMediaRate(t *testing.T) {
 	// reads approach media rate: the buffer absorbs the per-request
 	// command overhead by reading ahead on the platter.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	const mb = 4 << 20
 	const clu = 120 << 10
@@ -235,6 +240,7 @@ func TestInterleavedReadsHalfRate(t *testing.T) {
 	// and read back to back without a track buffer: at most half the
 	// media rate is achievable.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	p := DefaultParams()
 	p.TrackBuffer = false
 	d := New(s, "d0", p)
@@ -259,6 +265,7 @@ func TestInterleavedReadsHalfRate(t *testing.T) {
 
 func TestTrackBufferSpeedsRereads(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	buf := make([]byte, 8192)
 	var first, second sim.Time
@@ -283,6 +290,7 @@ func TestTrackBufferSpeedsRereads(t *testing.T) {
 
 func TestWriteInvalidatesTrackBuffer(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	buf := make([]byte, 8192)
 	s.Spawn("io", func(pr *sim.Proc) {
@@ -302,6 +310,7 @@ func TestWritesAreWriteThrough(t *testing.T) {
 	// Repeated writes to the same track must each pay mechanical cost;
 	// the track buffer gives them no speedup.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	pr := DefaultParams()
 	d := New(s, "d0", pr)
 	buf := make([]byte, 8192)
@@ -329,6 +338,7 @@ func TestWritesAreWriteThrough(t *testing.T) {
 
 func TestSeekTimeMonotone(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	prev := Time(0)
 	for _, dist := range []int{1, 10, 100, 1000, 1519} {
@@ -351,6 +361,7 @@ func TestRotationalPositionIsTimeDerived(t *testing.T) {
 	// the second time (with the track buffer off): the platter has
 	// moved past it.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	p := DefaultParams()
 	p.TrackBuffer = false
 	p.CmdOverhead = 0
@@ -376,6 +387,7 @@ func TestMultiTrackTransferUsesSkew(t *testing.T) {
 	// A transfer spanning two tracks should not lose a full rotation at
 	// the boundary: skew hides the head switch.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	p := DefaultParams()
 	p.TrackBuffer = false
 	d := New(s, "d0", p)
@@ -398,6 +410,7 @@ func TestMultiTrackTransferUsesSkew(t *testing.T) {
 
 func TestSubmitQueuesFIFO(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	buf1 := make([]byte, SectorSize)
 	buf2 := make([]byte, SectorSize)
@@ -417,6 +430,7 @@ func TestSubmitQueuesFIFO(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := New(s, "d0", DefaultParams())
 	recover1 := func(f func()) (panicked bool) {
 		defer func() { panicked = recover() != nil }()
@@ -445,6 +459,7 @@ func TestPropertyImageIsFlatArray(t *testing.T) {
 	}
 	f := func(ops []op) bool {
 		s := sim.New(1)
+		t.Cleanup(s.Close)
 		d := New(s, "d0", DefaultParams())
 		shadow := make(map[int64]byte)
 		sec := make([]byte, SectorSize)
@@ -477,6 +492,7 @@ func TestPropertyImageIsFlatArray(t *testing.T) {
 func TestPropertyServiceTimeBounded(t *testing.T) {
 	f := func(sector uint32, count uint8) bool {
 		s := sim.New(1)
+		t.Cleanup(s.Close)
 		p := DefaultParams()
 		d := New(s, "d0", p)
 		n := int(count%64) + 1

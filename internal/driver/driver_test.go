@@ -9,8 +9,10 @@ import (
 	"ufsclust/internal/sim"
 )
 
-func newRig(coalesce bool) (*sim.Sim, *Driver, *disk.Disk) {
+func newRig(t *testing.T, coalesce bool) (*sim.Sim, *Driver, *disk.Disk) {
+	t.Helper()
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := disk.New(s, "d0", disk.DefaultParams())
 	cfg := DefaultConfig()
 	cfg.Coalesce = coalesce
@@ -19,7 +21,7 @@ func newRig(coalesce bool) (*sim.Sim, *Driver, *disk.Disk) {
 }
 
 func TestSynchronousRoundTrip(t *testing.T) {
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	data := make([]byte, 8192)
 	for i := range data {
 		data[i] = byte(i % 131)
@@ -42,7 +44,7 @@ func TestSynchronousRoundTrip(t *testing.T) {
 }
 
 func TestMaxPhysEnforced(t *testing.T) {
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	s.Spawn("io", func(p *sim.Proc) {
 		defer func() {
 			if recover() == nil {
@@ -59,7 +61,7 @@ func TestMaxPhysEnforced(t *testing.T) {
 func TestDisksortOrdersByBlock(t *testing.T) {
 	// Queue far, near, middle while the drive is busy; service order
 	// after the active request should be ascending.
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	var order []int64
 	mk := func(blk int64) *Buf {
 		return &Buf{Blkno: blk, Data: make([]byte, 512), Iodone: func(b *Buf) { order = append(order, b.Blkno) }}
@@ -85,7 +87,7 @@ func TestDisksortOrdersByBlock(t *testing.T) {
 func TestDisksortElevatorWrap(t *testing.T) {
 	// Requests behind the head go in the second run: head at 200000,
 	// inserts at 10 and 300000 → 300000 first, then wrap to 10.
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	var order []int64
 	mk := func(blk int64) *Buf {
 		return &Buf{Blkno: blk, Data: make([]byte, 512), Iodone: func(b *Buf) { order = append(order, b.Blkno) }}
@@ -109,6 +111,7 @@ func TestDisksortElevatorWrap(t *testing.T) {
 
 func TestNoSortFIFO(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := disk.New(s, "d0", disk.DefaultParams())
 	cfg := DefaultConfig()
 	cfg.Sort = false
@@ -137,7 +140,7 @@ func TestNoSortFIFO(t *testing.T) {
 func TestOrderBarrierPreventsReorder(t *testing.T) {
 	// A B_ORDER request pins everything queued after it, even blocks
 	// that sort earlier.
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	var order []int64
 	mk := func(blk int64, ord bool) *Buf {
 		return &Buf{Blkno: blk, Order: ord, Data: make([]byte, 512), Iodone: func(b *Buf) { order = append(order, b.Blkno) }}
@@ -164,7 +167,7 @@ func TestOrderBarrierPreventsReorder(t *testing.T) {
 }
 
 func TestCoalesceAdjacentWrites(t *testing.T) {
-	s, dr, d := newRig(true)
+	s, dr, d := newRig(t, true)
 	const bsize = 8192
 	nDone := 0
 	s.Spawn("io", func(p *sim.Proc) {
@@ -209,7 +212,7 @@ func TestCoalesceAdjacentWrites(t *testing.T) {
 }
 
 func TestCoalesceScattersReads(t *testing.T) {
-	s, dr, d := newRig(true)
+	s, dr, d := newRig(t, true)
 	const bsize = 8192
 	// Prepare distinct content.
 	for i := 0; i < 3; i++ {
@@ -245,7 +248,7 @@ func TestCoalesceScattersReads(t *testing.T) {
 }
 
 func TestCoalesceRespectsMaxPhys(t *testing.T) {
-	s, dr, d := newRig(true)
+	s, dr, d := newRig(t, true)
 	const bsize = 8192
 	n := DefaultMaxPhys/bsize + 2 // 9 blocks: 7 fit, 2 spill
 	s.Spawn("io", func(p *sim.Proc) {
@@ -273,7 +276,7 @@ func TestDriverClusteringHelpsWritesNotReads(t *testing.T) {
 	// only writes ... reads are synchronous, so there can be at most
 	// two [requests] in the queue at once."
 	run := func(write bool) int64 {
-		s, dr, d := newRig(true)
+		s, dr, d := newRig(t, true)
 		const bsize = 8192
 		const nblk = 24
 		s.Spawn("io", func(p *sim.Proc) {
@@ -310,6 +313,7 @@ func TestDriverClusteringHelpsWritesNotReads(t *testing.T) {
 
 func TestStrategyChargesCPU(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := disk.New(s, "d0", disk.DefaultParams())
 	m := cpu.New(s, 12)
 	dr := New(s, d, m, DefaultConfig())
@@ -331,7 +335,7 @@ func TestStrategyChargesCPU(t *testing.T) {
 func TestCoalesceSkipsOrderedRequests(t *testing.T) {
 	// B_ORDER barriers must never be folded into a cluster: their
 	// position in the queue is their meaning.
-	s, dr, _ := newRig(true)
+	s, dr, _ := newRig(t, true)
 	const bsize = 8192
 	s.Spawn("io", func(p *sim.Proc) {
 		busy := &Buf{Blkno: 700000, Data: make([]byte, 512)}
@@ -349,7 +353,7 @@ func TestCoalesceSkipsOrderedRequests(t *testing.T) {
 }
 
 func TestQueueWaitAccounting(t *testing.T) {
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	s.Spawn("io", func(p *sim.Proc) {
 		dr.Strategy(p, &Buf{Blkno: 0, Data: make([]byte, 512)})
 		dr.Strategy(p, &Buf{Blkno: 16, Data: make([]byte, 512)})
@@ -369,7 +373,7 @@ func TestQueueWaitAccounting(t *testing.T) {
 func TestIodoneRunsInSchedulerContext(t *testing.T) {
 	// Completion callbacks come from an After(0) event, so they may
 	// wake processes but must not be running as one.
-	s, dr, _ := newRig(false)
+	s, dr, _ := newRig(t, false)
 	var sawCurrent bool
 	s.Spawn("io", func(p *sim.Proc) {
 		done := false

@@ -13,6 +13,7 @@ import (
 func newFs(t *testing.T) (*sim.Sim, *Fs, *disk.Disk) {
 	t.Helper()
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	dp := disk.DefaultParams()
 	dp.Geom = disk.UniformGeometry(96, 8, 64, 3600)
 	d := disk.New(s, "d0", dp)
@@ -166,6 +167,7 @@ func TestMountRebuildsState(t *testing.T) {
 	fs.SyncImage()
 	// Remount on a fresh sim sharing the image.
 	s2 := sim.New(2)
+	t.Cleanup(s2.Close)
 	_ = s2
 	dr2 := driver.New(fs.Sim, d, nil, driver.DefaultConfig())
 	fs2, err := Mount(fs.Sim, nil, dr2)
@@ -213,6 +215,7 @@ func TestExtentSizeTooSmallForFile(t *testing.T) {
 func TestVariableGeometryBreaksFixedExtentSizes(t *testing.T) {
 	rate := func(startFrac float64) float64 {
 		s := sim.New(1)
+		t.Cleanup(s.Close)
 		dp := disk.DefaultParams()
 		dp.Geom = disk.ZonedGeometry()
 		dp.TrackBuffer = false

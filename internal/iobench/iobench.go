@@ -8,10 +8,12 @@ package iobench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"ufsclust"
+	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
 )
 
@@ -39,6 +41,11 @@ type Params struct {
 	RandomOps int   // operations in random phases; default file/IOSize
 	Seed      int64 // workload RNG seed
 	MemBytes  int64 // machine memory; default 8 MB
+
+	// TraceW, when non-nil, receives the machine's scheduler trace
+	// (sim.Sim.TraceW). Only meaningful for a single Run: feeding one
+	// writer to concurrent runs would interleave their traces.
+	TraceW io.Writer
 }
 
 func (p Params) withDefaults() Params {
@@ -82,6 +89,8 @@ func Run(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Close()
+	m.Sim.TraceW = prm.TraceW
 	size := int64(prm.FileMB) << 20
 	res := Result{Run: rc.Name, Kind: kind}
 
@@ -174,17 +183,45 @@ type Table struct {
 
 // RunAll executes every (run, kind) pair.
 func RunAll(runs []ufsclust.RunConfig, kinds []Kind, prm Params) (*Table, error) {
+	return RunAllParallel(runs, kinds, prm, 1)
+}
+
+// RunAllParallel executes every (run, kind) pair across workers host
+// goroutines (0 means GOMAXPROCS, 1 means serial). Each cell is an
+// independent machine seeded only by its Params, so the resulting table
+// — and anything formatted from it — is byte-identical to the serial
+// table no matter how many workers ran it.
+func RunAllParallel(runs []ufsclust.RunConfig, kinds []Kind, prm Params, workers int) (*Table, error) {
+	if prm.TraceW != nil && workers != 1 {
+		return nil, fmt.Errorf("iobench: TraceW requires serial execution (workers=1)")
+	}
+	type job struct {
+		rc   ufsclust.RunConfig
+		kind Kind
+	}
+	var jobs []job
+	for _, rc := range runs {
+		for _, k := range kinds {
+			jobs = append(jobs, job{rc, k})
+		}
+	}
+	cells, err := runner.Map(len(jobs), runner.Options{Workers: workers}, func(i int) (Result, error) {
+		res, err := Run(jobs[i].rc, jobs[i].kind, prm)
+		if err != nil {
+			return Result{}, fmt.Errorf("run %s %s: %w", jobs[i].rc.Name, jobs[i].kind, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Cells: make(map[string]map[Kind]Result)}
 	for _, rc := range runs {
 		t.Order = append(t.Order, rc.Name)
 		t.Cells[rc.Name] = make(map[Kind]Result)
-		for _, k := range kinds {
-			res, err := Run(rc, k, prm)
-			if err != nil {
-				return nil, fmt.Errorf("run %s %s: %w", rc.Name, k, err)
-			}
-			t.Cells[rc.Name][k] = res
-		}
+	}
+	for i, res := range cells {
+		t.Cells[jobs[i].rc.Name][jobs[i].kind] = res
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package iobench
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -162,5 +163,30 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	if r1.Elapsed != r2.Elapsed || r1.CPUTime != r2.CPUTime {
 		t.Fatalf("benchmark not reproducible: %v/%v vs %v/%v",
 			r1.Elapsed, r1.CPUTime, r2.Elapsed, r2.CPUTime)
+	}
+}
+
+// TestParallelTableMatchesSerial pins the parallel sweep contract at the
+// table level: the run×kind matrix computed on many host workers renders
+// byte-identically to the serial one.
+func TestParallelTableMatchesSerial(t *testing.T) {
+	runs := []ufsclust.RunConfig{ufsclust.RunA(), ufsclust.RunD()}
+	prm := Params{FileMB: 1, RandomOps: 16}
+	serial, err := RunAll(runs, Kinds(), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllParallel(runs, Kinds(), prm, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.FormatRates(Kinds()), par.FormatRates(Kinds()); s != p {
+		t.Fatalf("parallel table differs from serial\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+	if s, p := serial.FormatRatios(Kinds()), par.FormatRatios(Kinds()); s != p {
+		t.Fatalf("parallel ratios differ from serial\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+	if _, err := RunAllParallel(runs, Kinds(), Params{FileMB: 1, RandomOps: 16, TraceW: os.Stderr}, 2); err == nil {
+		t.Fatal("RunAllParallel accepted a TraceW with workers > 1; traces would interleave")
 	}
 }

@@ -9,6 +9,7 @@ package musbus
 
 import (
 	"fmt"
+	"io"
 
 	"ufsclust"
 	"ufsclust/internal/sim"
@@ -19,6 +20,10 @@ type Params struct {
 	Users    int      // concurrent simulated users; default 8
 	Duration sim.Time // virtual time to run; default 5 minutes
 	Seed     int64
+
+	// TraceW, when non-nil, receives the machine's scheduler trace
+	// (sim.Sim.TraceW). Only meaningful for a single Run.
+	TraceW io.Writer
 }
 
 func (p Params) withDefaults() Params {
@@ -57,6 +62,8 @@ func Run(rc ufsclust.RunConfig, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer m.Close()
+	m.Sim.TraceW = prm.TraceW
 	res := Result{Run: rc.Name, Users: prm.Users, Duration: prm.Duration}
 
 	var setupErr error

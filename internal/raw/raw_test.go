@@ -12,6 +12,7 @@ import (
 
 func TestRawRoundTrip(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := disk.New(s, "d0", disk.DefaultParams())
 	dev := Open(driver.New(s, d, cpu.New(s, 12), driver.DefaultConfig()), cpu.New(s, 12))
 	data := make([]byte, 32<<10)
@@ -38,6 +39,7 @@ func TestRawRoundTrip(t *testing.T) {
 
 func TestRawSplitsAtMaxPhys(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := disk.New(s, "d0", disk.DefaultParams())
 	dev := Open(driver.New(s, d, nil, driver.DefaultConfig()), nil)
 	s.Spawn("io", func(p *sim.Proc) {
@@ -56,6 +58,7 @@ func TestRawSplitsAtMaxPhys(t *testing.T) {
 
 func TestRawRejectsUnaligned(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	d := disk.New(s, "d0", disk.DefaultParams())
 	dev := Open(driver.New(s, d, nil, driver.DefaultConfig()), nil)
 	s.Spawn("io", func(p *sim.Proc) {

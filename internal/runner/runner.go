@@ -1,0 +1,102 @@
+// Package runner is the host-side parallel experiment orchestrator.
+//
+// Every experiment in this repository is a self-contained, deterministic
+// discrete-event simulation: it owns its sim.Sim, draws randomness only
+// from the sim's seeded source, and reports results in virtual time.
+// Host-level parallelism therefore cannot change any result — it only
+// changes how many host cores the parameter sweep saturates. The runner
+// exploits that: a worker pool over GOMAXPROCS runs one independent
+// simulation per job and collects the results in job order, so the
+// output of a parallel sweep is byte-identical to the serial one.
+//
+// This package is registered as host-side tooling in internal/analysis
+// (like analysis and detsort): it runs outside the simulation, so the
+// determinism rules that govern model code do not apply to its worker
+// goroutines. The contract is that the job function must be a closed
+// simulation — it must not share mutable state across jobs.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a pool.
+type Options struct {
+	// Workers is the number of host worker goroutines; 0 means
+	// runtime.GOMAXPROCS(0). 1 degenerates to serial in-order
+	// execution on the calling goroutine.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0) .. fn(n-1) on a worker pool and returns the results in
+// job order. fn must be safe to call from multiple goroutines at once,
+// which in practice means each job builds its own machine/simulation.
+// All jobs run to completion even when some fail; the returned error is
+// the failure of the lowest-numbered failed job, so error reporting does
+// not depend on worker interleaving.
+func Map[T any](n int, o Options, fn func(job int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		return results, firstErr(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr(errs)
+}
+
+// firstErr returns the error of the lowest-numbered failed job.
+func firstErr(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Seed derives a deterministic per-job seed from a base seed. Jobs must
+// not share a sim.Rand (each owns a simulation), and seeding job i with
+// base+i would correlate neighbouring runs; the splitmix64 finalizer
+// decorrelates them while staying a pure function of (base, job), so a
+// sweep replays identically no matter how many workers execute it.
+func Seed(base int64, job int) int64 {
+	z := uint64(base) + (uint64(job)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

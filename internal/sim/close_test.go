@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutinesSettled polls until the goroutine count drops to want (the
+// unwind is asynchronous only in that the dead goroutines may not have
+// been reaped the instant Close returns).
+func goroutinesSettled(want int) bool {
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= want {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// TestCloseUnwindsParkedGoroutines is the goroutine-leak gate: a sim
+// abandoned after RunUntil holds one parked goroutine per live process,
+// and Close must release every one of them.
+func TestCloseUnwindsParkedGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(1)
+	for i := 0; i < 8; i++ {
+		s.SpawnDaemon("d", func(p *Proc) {
+			var q WaitQ
+			for {
+				p.Block(&q) // parked forever
+			}
+		})
+	}
+	s.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	if err := s.RunUntil(2 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The worker is mid-run (sleeping) and the daemons are blocked:
+	// nine goroutines are parked right now.
+	if n := runtime.NumGoroutine(); n < before+9 {
+		t.Fatalf("expected >= %d goroutines while parked, have %d", before+9, n)
+	}
+	s.Close()
+	if !goroutinesSettled(before) {
+		t.Fatalf("goroutines leaked after Close: %d, want <= %d", runtime.NumGoroutine(), before)
+	}
+}
+
+// TestCloseRunsDeferredCleanup pins the unwind semantics: deferred
+// cleanup in a process body runs during Close, and may even call a
+// blocking primitive (which re-poisons and keeps unwinding).
+func TestCloseRunsDeferredCleanup(t *testing.T) {
+	s := New(1)
+	cleaned := 0
+	s.SpawnDaemon("d", func(p *Proc) {
+		defer func() {
+			cleaned++
+			p.Sleep(Second) // must not hang: poisoned sim keeps unwinding
+		}()
+		var q WaitQ
+		p.Block(&q)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if cleaned != 1 {
+		t.Fatalf("deferred cleanup ran %d times, want 1", cleaned)
+	}
+}
+
+func TestCloseIdempotentAndAfterCompletion(t *testing.T) {
+	s := New(1)
+	s.Spawn("p", func(p *Proc) { p.Sleep(Microsecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // second Close is a no-op
+}
+
+func TestCloseAfterStop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(1)
+	s.Spawn("stopper", func(p *Proc) {
+		p.Sleep(Microsecond)
+		s.Stop()
+	})
+	s.Spawn("sleeper", func(p *Proc) { p.Sleep(Second) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if !goroutinesSettled(before) {
+		t.Fatalf("goroutines leaked after Stop+Close: %d, want <= %d", runtime.NumGoroutine(), before)
+	}
+}

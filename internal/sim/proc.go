@@ -12,14 +12,20 @@ const (
 
 // Proc is a simulated thread of control. Its body function runs on a
 // dedicated goroutine, but the kernel guarantees that at most one process
-// (or the scheduler) executes at any instant, handing control back and
-// forth over unbuffered channels. Shared simulation state therefore needs
-// no locking.
+// (or the scheduler) executes at any instant, handing control over
+// channels in a strict token-passing chain. Shared simulation state
+// therefore needs no locking.
 type Proc struct {
 	sim   *Sim
 	name  string
 	wake  chan struct{}
 	state procState
+
+	// wakeFn is the prebuilt timer-expiry closure for this process,
+	// allocated once at Spawn so Sleep schedules a plain event with no
+	// per-call allocation. A stale wakeup (the process was already woken
+	// through a wait queue) is a no-op thanks to the state check.
+	wakeFn func()
 
 	// daemon processes (device service loops, the pageout daemon) are
 	// expected to block forever and are excluded from deadlock
@@ -35,17 +41,46 @@ type Proc struct {
 // the current virtual time. It may be called before Run or from any
 // process or scheduler context during the run.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{}), state: stateReady}
+	// The wake channel is buffered so a dispatcher handing control to a
+	// freshly spawned process does not stall until its goroutine first
+	// reaches park; the token protocol guarantees at most one
+	// outstanding wake per process.
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}, 1), state: stateReady}
+	p.wakeFn = func() {
+		if p.state == stateSleeping {
+			p.state = stateReady
+			s.readyPush(p)
+		}
+	}
 	s.live++
 	s.allProcs = append(s.allProcs, p)
 	go func() {
-		<-p.wake
+		defer func() {
+			p.state = stateDead
+			s.live--
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// A genuine panic in the process body: re-raise it.
+					// simlint:invariant -- propagating the body's own panic.
+					panic(r)
+				}
+				s.yielded <- struct{}{} // acknowledge Close
+				return
+			}
+			// The process finished: continue the dispatch chain from
+			// here, or report the run complete.
+			s.current = nil
+			if q := s.next(); q != nil {
+				s.dispatchTo(q)
+				q.wake <- struct{}{}
+			} else {
+				s.yielded <- struct{}{}
+			}
+		}()
+		p.park()
 		fn(p)
-		p.state = stateDead
-		s.live--
-		s.yielded <- struct{}{}
 	}()
-	s.ready = append(s.ready, p)
+	s.readyPush(p)
 	return p
 }
 
@@ -66,11 +101,44 @@ func (p *Proc) Sim() *Sim { return p.sim }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.sim.now }
 
-// yield hands control back to the scheduler and blocks until rewoken.
-func (p *Proc) yield() {
-	p.sim.yielded <- struct{}{}
+// park blocks until a dispatcher (or Close) hands the token back. A
+// wake received after Close is poison: it unwinds the goroutine.
+func (p *Proc) park() {
 	<-p.wake
-	p.state = stateRunning
+	if p.sim.closed {
+		// simlint:invariant -- controlled unwind of a poisoned process; recovered in Spawn.
+		panic(procKilled{})
+	}
+}
+
+// yield hands the processor over after the caller has queued itself
+// (or an event) for later resumption. The yielding goroutine runs the
+// scheduler itself: it drains due callbacks, picks the next process,
+// and wakes that goroutine directly — one hand-off per context switch.
+// If the next runnable process is the caller itself, control never
+// leaves this goroutine (the switchless fast path). If the run is over,
+// control returns to Run via the yielded channel and the caller parks.
+func (p *Proc) yield() {
+	s := p.sim
+	if s.closed {
+		// A deferred cleanup called a blocking primitive while the
+		// goroutine unwinds from Close; keep unwinding.
+		// simlint:invariant -- controlled unwind of a poisoned process; recovered in Spawn.
+		panic(procKilled{})
+	}
+	s.current = nil
+	q := s.next()
+	switch {
+	case q == p:
+		s.dispatchTo(p)
+	case q != nil:
+		s.dispatchTo(q)
+		q.wake <- struct{}{}
+		p.park()
+	default:
+		s.yielded <- struct{}{}
+		p.park()
+	}
 }
 
 // Sleep suspends the process for d of virtual time. A non-positive d
@@ -80,7 +148,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.state = stateSleeping
-	p.sim.schedule(p.sim.now+d, p, nil)
+	p.sim.schedule(p.sim.now+d, p.wakeFn)
 	p.yield()
 }
 
@@ -88,7 +156,7 @@ func (p *Proc) Sleep(d Time) {
 // processes have run, without advancing the clock.
 func (p *Proc) Yield() {
 	p.state = stateReady
-	p.sim.ready = append(p.sim.ready, p)
+	p.sim.readyPush(p)
 	p.yield()
 }
 

@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+func BenchmarkTimerStorm(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		const lanes = 64
+		remaining := int64(1 << 18)
+		for l := 0; l < lanes; l++ {
+			period := Time(l%7+1) * Microsecond
+			var fire func()
+			fire = func() {
+				if remaining <= 0 {
+					return
+				}
+				remaining--
+				s.After(period, fire)
+			}
+			s.After(period, fire)
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

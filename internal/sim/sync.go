@@ -22,7 +22,7 @@ func (q *WaitQ) WakeOne() bool {
 			continue
 		}
 		p.state = stateReady
-		p.sim.ready = append(p.sim.ready, p)
+		p.sim.readyPush(p)
 		return true
 	}
 	return false

@@ -108,6 +108,7 @@ func readFigure(title string, rotdelayMs, maxcontig, npages int, clustered bool)
 	if err != nil {
 		return nil, err
 	}
+	defer m.Close()
 	fig := &Figure{Title: title, PredLabel: "nextr"}
 	if clustered {
 		fig.PredLabel = "nextrio"
@@ -166,6 +167,7 @@ func Figure7() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer m.Close()
 	fig := &Figure{Title: "Figure 7: clustered writes with maxcontig = 3"}
 	err = m.Run(func(p *sim.Proc) {
 		f, err := m.Engine.Create(p, "/trace")

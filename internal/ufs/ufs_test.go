@@ -24,6 +24,7 @@ func smallGeom() *disk.Geometry { return disk.UniformGeometry(96, 8, 64, 3600) }
 func newRig(t *testing.T, opts MkfsOpts) *testRig {
 	t.Helper()
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	p := disk.DefaultParams()
 	p.Geom = smallGeom()
 	d := disk.New(s, "d0", p)
@@ -640,6 +641,7 @@ func TestSyncSurvivesRemount(t *testing.T) {
 	})
 	// Remount from the image and look the file up.
 	s2 := sim.New(2)
+	t.Cleanup(s2.Close)
 	p2 := disk.DefaultParams()
 	p2.Geom = smallGeom()
 	d2 := disk.New(s2, "d0", p2)

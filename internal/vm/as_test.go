@@ -28,6 +28,7 @@ func (fp *fakePager) Fault(p *sim.Proc, obj Object, off int64) *Page {
 
 func TestAddressSpaceFaultChain(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	v := New(s, nil, Config{MemBytes: 8 << 20})
 	obj := &fakeObj{s: s}
 	fp := &fakePager{v: v}
@@ -63,6 +64,7 @@ func TestAddressSpaceFaultChain(t *testing.T) {
 
 func TestAddressSpaceSegmentation(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	v := New(s, nil, Config{MemBytes: 8 << 20})
 	obj := &fakeObj{s: s}
 	fp := &fakePager{v: v}
@@ -94,6 +96,7 @@ func TestTranslationDroppedWhenPageRecycled(t *testing.T) {
 	// If the page behind a translation is stolen for another identity,
 	// the next touch must re-fault rather than read the recycled frame.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	v := New(s, nil, Config{MemBytes: 8 << 20})
 	obj := &fakeObj{s: s}
 	fp := &fakePager{v: v}
@@ -128,6 +131,7 @@ func TestTranslationDroppedWhenPageRecycled(t *testing.T) {
 
 func TestUnmapRemovesSegment(t *testing.T) {
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	v := New(s, nil, Config{MemBytes: 8 << 20})
 	obj := &fakeObj{s: s}
 	fp := &fakePager{v: v}

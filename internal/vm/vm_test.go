@@ -29,6 +29,7 @@ func (f *fakeObj) PageOut(p *sim.Proc, pg *Page) {
 func newVM(t *testing.T, memMB int64) (*sim.Sim, *VM, *fakeObj) {
 	t.Helper()
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	v := New(s, nil, Config{MemBytes: memMB << 20})
 	return s, v, &fakeObj{s: s}
 }
@@ -250,6 +251,7 @@ func TestClockGivesReferencedPagesASecondChance(t *testing.T) {
 	// Half the pages are continuously re-referenced; under pressure the
 	// daemon should steal mostly from the cold half.
 	s := sim.New(1)
+	t.Cleanup(s.Close)
 	v := New(s, nil, Config{MemBytes: 8 << 20})
 	hot := &fakeObj{s: s}
 	cold := &fakeObj{s: s}

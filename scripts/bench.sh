@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — host-performance harness for the simulation kernel.
+#
+# Builds cmd/simbench and measures the kernel's host cost (events/sec,
+# allocs/event, context-switch and ping-pong latency, parallel-runner
+# scaling), writing the report to BENCH_sim.json at the repo root.
+#
+# If a BENCH_sim.json already exists, its recorded baseline (the
+# pre-fast-path kernel, measured interleaved against the new one when
+# this harness was introduced) is carried forward so the old-vs-new
+# speedup columns stay anchored to the same reference across runs.
+#
+# Usage: scripts/bench.sh [extra simbench flags]
+#   e.g. scripts/bench.sh -reps 12
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> go build ./cmd/simbench"
+go build -o "$tmp/simbench" ./cmd/simbench
+
+baseline=""
+if [ -f BENCH_sim.json ]; then
+    baseline="-baseline BENCH_sim.json"
+    # simbench reads the baseline before the output file is replaced,
+    # but write to a temp path anyway so an interrupted run cannot
+    # leave a truncated report behind.
+fi
+
+echo "==> simbench"
+# shellcheck disable=SC2086 # $baseline is intentionally word-split
+"$tmp/simbench" $baseline -o "$tmp/BENCH_sim.json" "$@"
+
+mv "$tmp/BENCH_sim.json" BENCH_sim.json
+echo "bench: wrote BENCH_sim.json"

@@ -11,8 +11,8 @@
 #   4. go test ./...                       the full test suite, including
 #                                          the same-seed replay gate and
 #                                          the simlint golden tests
-#   5. go test -race ./internal/sim/...    the one package that touches
-#                                          host goroutines and channels
+#   5. go test -race ./internal/sim/...    the packages that touch host
+#      go test -race ./internal/runner/... goroutines and channels
 #
 # Usage: scripts/check.sh  (from anywhere inside the repo)
 set -eu
@@ -37,5 +37,8 @@ go test ./...
 
 echo "==> go test -race ./internal/sim/..."
 go test -race ./internal/sim/...
+
+echo "==> go test -race ./internal/runner/..."
+go test -race ./internal/runner/...
 
 echo "check: all gates passed"

@@ -102,6 +102,13 @@ func (m *Machine) Run(fn func(p *sim.Proc)) error {
 	return m.Sim.Run()
 }
 
+// Close tears down the machine's simulation, unwinding the daemon
+// goroutines (disk service loop, pageout) that otherwise outlive it.
+// Call it once the machine is no longer needed; a Machine that is
+// never closed leaks one host goroutine per daemon, which a parallel
+// sweep running thousands of machines cannot afford.
+func (m *Machine) Close() { m.Sim.Close() }
+
 // Fsck flushes all state to the disk image and checks it.
 func (m *Machine) Fsck() (*ufs.FsckReport, error) {
 	m.FS.SyncImage()
