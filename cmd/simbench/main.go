@@ -26,6 +26,7 @@ import (
 
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // Metrics is the host cost of one pinned workload.
@@ -55,6 +56,10 @@ type Workloads struct {
 	// ParallelScale: GOMAXPROCS independent timer-storm sims driven by
 	// internal/runner; aggregate events/sec across all cores.
 	ParallelScale Metrics `json:"parallel_scale"`
+	// TelemetryEmit: Bus.Emit with no subscriber — the overhead every
+	// instrumented hot path (disk serve, driver strategy) pays when
+	// nobody is listening. The acceptance number is AllocsPerEvent = 0.
+	TelemetryEmit Metrics `json:"telemetry_emit"`
 }
 
 // Report is the BENCH_sim.json schema.
@@ -95,6 +100,7 @@ func main() {
 	rep.Current.ContextSwitch = withSwitch(measure(*reps, contextSwitch(*events)))
 	rep.Current.Pingpong = withSwitch(measure(*reps, pingpong(*events)))
 	rep.Current.ParallelScale = measure(*reps, parallelScale(*events))
+	rep.Current.TelemetryEmit = measure(*reps, telemetryEmit(*events))
 
 	if *baseline != "" {
 		if err := attachBaseline(&rep, *baseline); err != nil {
@@ -293,6 +299,25 @@ func parallelScale(total int64) func() int64 {
 			sum += c
 		}
 		return sum
+	}
+}
+
+// telemetryEmit: the zero-subscriber event-bus path. Every instrumented
+// subsystem calls Bus.Emit unconditionally; this pins its cost (and its
+// zero heap allocations) when no JSONL writer or trace is attached.
+func telemetryEmit(total int64) func() int64 {
+	return func() int64 {
+		bus := &telemetry.Bus{}
+		for i := int64(0); i < total; i++ {
+			bus.Emit(telemetry.Event{
+				T:      sim.Time(i),
+				Kind:   telemetry.EvIOStart,
+				Sector: i,
+				Bytes:  8192,
+				Depth:  i & 15,
+			})
+		}
+		return total
 	}
 }
 

@@ -1,0 +1,75 @@
+// Command simstat runs one IObench cell and dumps the full telemetry of
+// the measured phase: every registered counter, the disk latency and
+// driver queue-depth histograms, and (with -jsonl) the structured event
+// stream as JSON lines — the paper's figures are averages; this is the
+// distribution view behind them.
+//
+// Usage:
+//
+//	simstat [-run A] [-kind FSR] [-file MB] [-ops N] [-seed N] [-jsonl file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ufsclust"
+	"ufsclust/internal/iobench"
+)
+
+func main() {
+	runName := flag.String("run", "A", "run configuration (A, B, C, D)")
+	kindFlag := flag.String("kind", "FSR", "I/O type (FSR, FSU, FSW, FRR, FRU)")
+	fileMB := flag.Int("file", 16, "benchmark file size in MB")
+	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
+	seed := flag.Int64("seed", 0, "workload RNG seed")
+	jsonl := flag.String("jsonl", "", "write the measured phase's event stream to this file as JSON lines (- for stdout)")
+	flag.Parse()
+
+	var rc ufsclust.RunConfig
+	found := false
+	for _, r := range ufsclust.Runs() {
+		if r.Name == *runName {
+			rc, found = r, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "simstat: unknown run %q\n", *runName)
+		os.Exit(2)
+	}
+	kind := iobench.Kind(strings.ToUpper(*kindFlag))
+	ok := false
+	for _, k := range iobench.Kinds() {
+		if k == kind {
+			ok = true
+		}
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simstat: unknown kind %q\n", *kindFlag)
+		os.Exit(2)
+	}
+
+	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Seed: *seed}
+	if *jsonl == "-" {
+		prm.EventW = os.Stdout
+	} else if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simstat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		prm.EventW = f
+	}
+
+	res, snap, err := iobench.RunMeasured(rc, kind, prm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simstat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("run %s %s, %dMB file: %.0f KB/s over %v (cpu %v)\n\n",
+		res.Run, res.Kind, *fileMB, res.RateKBs(), res.Elapsed, res.CPUTime)
+	snap.Format(os.Stdout)
+}

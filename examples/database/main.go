@@ -30,9 +30,7 @@ func main() {
 }
 
 func run(limit int64) {
-	opts := ufsclust.RunA().Options()
-	opts.Mount.WriteLimit = limit
-	m, err := ufsclust.NewMachine(opts)
+	m, err := ufsclust.New(ufsclust.RunA(), ufsclust.WithWriteLimit(limit))
 	if err != nil {
 		log.Fatal(err)
 	}

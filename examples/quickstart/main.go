@@ -14,7 +14,7 @@ import (
 func main() {
 	// Run A is the paper's SunOS 4.1.1 configuration: 120 KB clusters,
 	// contiguous allocation, free-behind, 240 KB write limit.
-	m, err := ufsclust.NewMachineForRun(ufsclust.RunA())
+	m, err := ufsclust.New(ufsclust.RunA())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,10 +54,12 @@ func main() {
 	}
 
 	// The point of the paper: 128 blocks moved in a handful of I/Os.
+	// Counters come from the telemetry snapshot, keyed by name.
+	snap := m.Snapshot()
 	fmt.Printf("disk saw %d write requests and %d read requests for %d file blocks\n",
-		m.Disk.Stats.Writes, m.Disk.Stats.Reads, size/8192)
+		snap.Get("disk.writes"), snap.Get("disk.reads"), size/8192)
 	fmt.Printf("CPU charged: %v (%.0f%% utilization)\n",
-		m.CPU.SystemTime(), m.CPU.Utilization()*100)
+		sim.Time(snap.Get("cpu.system_ns")), m.CPU.Utilization()*100)
 
 	// And the on-disk format is still plain UFS:
 	rep, err := m.Fsck()

@@ -52,7 +52,6 @@ func measure(mk ufs.MkfsOpts, cfg core.Config) (readKBs, writeKBs float64) {
 				}
 				f.Purge(p)
 			}
-			m.ResetStats()
 			t0 := p.Now()
 			for off := int64(0); off < size; off += 8192 {
 				if write {

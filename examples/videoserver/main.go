@@ -29,10 +29,9 @@ func main() {
 }
 
 func run(freeBehind bool) {
-	opts := ufsclust.RunA().Options()
-	opts.Engine.FreeBehind = freeBehind
-	opts.Mount.WriteLimit = 0
-	m, err := ufsclust.NewMachine(opts)
+	m, err := ufsclust.New(ufsclust.RunA(),
+		ufsclust.WithFreeBehind(freeBehind),
+		ufsclust.WithWriteLimit(0))
 	if err != nil {
 		log.Fatal(err)
 	}

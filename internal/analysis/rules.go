@@ -30,6 +30,10 @@ var modelPkgs = map[string]bool{
 	modulePath + "/internal/disk":   true,
 	modulePath + "/internal/driver": true,
 	modulePath + "/internal/extfs":  true,
+	// telemetry runs inline on the model's hot paths (Emit and Observe
+	// are called from disk service and driver strategy), so it is held
+	// to the same no-goroutine discipline.
+	modulePath + "/internal/telemetry": true,
 }
 
 func isInternal(path string) bool {

@@ -5,6 +5,7 @@ import (
 
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
 	"ufsclust/internal/vm"
 )
@@ -105,18 +106,36 @@ type Engine struct {
 	vnodes map[int32]*Vnode
 	Stats  Stats
 
-	// Hook, when non-nil, receives engine events: "sync" and "async"
-	// reads, "lie" (delayed putpage), and "push" (cluster write), with
-	// the starting logical block and block count. The figure tracer
-	// (internal/trace) uses it to render the paper's access-pattern
-	// tables from live execution.
-	Hook func(event string, lbn int64, blocks int)
+	// Bus receives the engine's structured events (EvSyncRead,
+	// EvReadAhead, EvWriteLie, EvClusterPush, EvFreeBehind); nil (and
+	// nil-safe) until AttachTelemetry. The figure tracer
+	// (internal/trace) subscribes to it to render the paper's
+	// access-pattern tables from live execution.
+	Bus *telemetry.Bus
 }
 
-func (e *Engine) hook(event string, lbn int64, blocks int) {
-	if e.Hook != nil {
-		e.Hook(event, lbn, blocks)
-	}
+// AttachTelemetry registers the engine's counters and connects it to
+// the event bus.
+func (e *Engine) AttachTelemetry(tel *telemetry.Telemetry) {
+	e.Bus = tel.Bus
+	r := tel.Reg
+	r.Counter("core.getpages", func() int64 { return e.Stats.GetPages })
+	r.Counter("core.putpages", func() int64 { return e.Stats.PutPages })
+	r.Counter("core.cache_hits", func() int64 { return e.Stats.CacheHits })
+	r.Counter("core.sync_reads", func() int64 { return e.Stats.SyncReads })
+	r.Counter("core.async_reads", func() int64 { return e.Stats.AsyncReads })
+	r.Counter("core.read_blocks", func() int64 { return e.Stats.ReadBlocks })
+	r.Counter("core.write_ios", func() int64 { return e.Stats.WriteIOs })
+	r.Counter("core.write_blocks", func() int64 { return e.Stats.WriteBlocks })
+	r.Counter("core.lies", func() int64 { return e.Stats.Lies })
+	r.Counter("core.pushes", func() int64 { return e.Stats.Pushes })
+	r.Counter("core.free_behinds", func() int64 { return e.Stats.FreeBehinds })
+	r.Counter("core.zero_fills", func() int64 { return e.Stats.ZeroFills })
+	r.Counter("core.write_stalls", func() int64 { return e.Stats.WriteStalls })
+	r.Counter("core.daemon_pushes", func() int64 { return e.Stats.DaemonPushes })
+	r.Counter("core.bmap_skips", func() int64 { return e.Stats.BmapSkips })
+	r.Counter("core.hint_clusters", func() int64 { return e.Stats.HintClusters })
+	r.Counter("core.inode_data_hits", func() int64 { return e.Stats.InodeDataHits })
 }
 
 // NewEngine wires up an engine. The cluster size is the superblock's

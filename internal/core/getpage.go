@@ -4,6 +4,7 @@ import (
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/driver"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/vm"
 )
 
@@ -187,10 +188,10 @@ func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblock
 	sb := e.FS.SB
 	if async {
 		e.Stats.AsyncReads++
-		e.hook("async", lbn, nblocks)
+		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvReadAhead, LBN: lbn, Blocks: int64(nblocks)})
 	} else {
 		e.Stats.SyncReads++
-		e.hook("sync", lbn, nblocks)
+		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvSyncRead, LBN: lbn, Blocks: int64(nblocks)})
 	}
 
 	if fsbn == 0 {

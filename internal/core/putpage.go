@@ -4,6 +4,7 @@ import (
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/driver"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/vm"
 )
 
@@ -31,7 +32,7 @@ func (e *Engine) PutPage(p *sim.Proc, vn *Vnode, off int64) {
 		}
 		ip.Delaylen += bsize
 		e.Stats.Lies++
-		e.hook("lie", off/bsize, 1)
+		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvWriteLie, LBN: off / bsize, Blocks: 1})
 		if ip.Delaylen >= maxBytes {
 			e.push(p, vn, ip.Delayoff, ip.Delaylen, true)
 			ip.Delayoff, ip.Delaylen = 0, 0
@@ -129,7 +130,14 @@ func (e *Engine) push(p *sim.Proc, vn *Vnode, off, length int64, limit bool) {
 		} else {
 			vn.pending += int64(bytes)
 		}
-		e.hook("push", lbn, len(pages))
+		e.Bus.Emit(telemetry.Event{
+			T:      e.Sim.Now(),
+			Kind:   telemetry.EvClusterPush,
+			LBN:    lbn,
+			Blocks: int64(len(pages)),
+			Bytes:  int64(bytes),
+			Write:  true,
+		})
 		e.Stats.WriteIOs++
 		e.Stats.WriteBlocks += int64(len(pages))
 		pgs := pages

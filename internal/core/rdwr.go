@@ -5,6 +5,7 @@ import (
 
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
 	"ufsclust/internal/vm"
 )
@@ -69,6 +70,7 @@ func (f *File) Read(p *sim.Proc, off int64, buf []byte) (int, error) {
 			!pg.Dirty() && !pg.Busy() {
 			e.VM.Free(pg, true)
 			e.Stats.FreeBehinds++
+			e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvFreeBehind, LBN: pg.Off / int64(sb.Bsize), Blocks: 1})
 		}
 
 		buf = buf[n:]
@@ -129,6 +131,7 @@ func (f *File) ReadMmap(p *sim.Proc, off int64, length int64) error {
 			!pg.Dirty() && !pg.Busy() {
 			e.VM.Free(pg, true)
 			e.Stats.FreeBehinds++
+			e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvFreeBehind, LBN: pg.Off / int64(sb.Bsize), Blocks: 1})
 		}
 		off += n
 		length -= n

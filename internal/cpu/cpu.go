@@ -14,6 +14,7 @@ import (
 
 	"ufsclust/internal/detsort"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // Category labels where CPU time is spent, mirroring the subsystems the
@@ -114,6 +115,26 @@ func (m *Model) SystemTime() sim.Time {
 		t += m.buckets[c].Time
 	}
 	return t
+}
+
+// AttachTelemetry registers the CPU totals plus a dynamic source for
+// the per-category breakdown. Categories are created on first use (and
+// workloads invent their own, e.g. "musbus-cmd"), so they register as
+// a CounterSource read at snapshot time rather than as fixed metrics.
+// The buckets map is re-read through the method on every snapshot —
+// Reset replaces it wholesale, so the source must not capture it.
+func (m *Model) AttachTelemetry(tel *telemetry.Telemetry) {
+	r := tel.Reg
+	r.Counter("cpu.system_ns", func() int64 { return int64(m.SystemTime()) })
+	r.Counter("cpu.intr_ns", func() int64 { return int64(m.intr) })
+	r.CounterSource(func(add func(name string, v int64)) {
+		for _, c := range detsort.Keys(m.buckets) {
+			b := m.buckets[c]
+			add("cpu."+string(c)+".ns", int64(b.Time))
+			add("cpu."+string(c)+".instr", b.Instr)
+			add("cpu."+string(c)+".calls", b.Count)
+		}
+	})
 }
 
 // Utilization returns charged CPU time over elapsed virtual time.

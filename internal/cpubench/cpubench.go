@@ -11,9 +11,12 @@ package cpubench
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"ufsclust"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // Result is one row of Figure 12.
@@ -27,9 +30,66 @@ type Result struct {
 	Report   string  // per-category breakdown
 }
 
+// cpuReport reconstructs the per-category CPU breakdown (the format of
+// cpu.Model.Report) from an interval's cpu.<category>.{ns,instr,calls}
+// delta entries. Categories untouched during the interval delta to
+// all-zero rows and are dropped — which is exactly what the old
+// ResetStats-then-Report dance achieved by destroying the counters.
+func cpuReport(d telemetry.Snapshot) string {
+	type row struct {
+		cat              string
+		ns, instr, calls int64
+	}
+	byCat := map[string]*row{}
+	var order []string
+	for _, e := range d.Entries {
+		rest, ok := strings.CutPrefix(e.Name, "cpu.")
+		if !ok {
+			continue
+		}
+		cat, field, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue // cpu.system_ns / cpu.intr_ns totals
+		}
+		r := byCat[cat]
+		if r == nil {
+			r = &row{cat: cat}
+			byCat[cat] = r
+			order = append(order, cat)
+		}
+		switch field {
+		case "ns":
+			r.ns = e.Value
+		case "instr":
+			r.instr = e.Value
+		case "calls":
+			r.calls = e.Value
+		}
+	}
+	rows := make([]*row, 0, len(order))
+	for _, cat := range order {
+		if r := byCat[cat]; r.ns != 0 || r.instr != 0 || r.calls != 0 {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ns != rows[j].ns {
+			return rows[i].ns > rows[j].ns
+		}
+		return rows[i].cat < rows[j].cat
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %10s %8s\n", "category", "instructions", "cpu", "calls")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %12d %10v %8d\n", r.cat, r.instr, sim.Time(r.ns), r.calls)
+	}
+	fmt.Fprintf(&sb, "%-12s %12s %10v\n", "total", "", sim.Time(d.Get("cpu.system_ns")))
+	return sb.String()
+}
+
 // MmapRead runs the Figure 12 measurement for one configuration.
 func MmapRead(rc ufsclust.RunConfig, fileMB int) (Result, error) {
-	m, err := ufsclust.NewMachineForRun(rc)
+	m, err := ufsclust.New(rc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -46,12 +106,13 @@ func MmapRead(rc ufsclust.RunConfig, fileMB int) (Result, error) {
 			f.Write(p, off, chunk)
 		}
 		f.Purge(p)
-		m.ResetStats()
+		pre := m.Snapshot()
 		t0 := p.Now()
 		f.ReadMmap(p, 0, size)
 		res.Elapsed = p.Now() - t0
-		res.CPUTime = m.CPU.SystemTime()
-		res.Report = m.CPU.Report()
+		delta := m.Snapshot().Delta(pre)
+		res.CPUTime = sim.Time(delta.Get("cpu.system_ns"))
+		res.Report = cpuReport(delta)
 	})
 	if err != nil {
 		return Result{}, err
@@ -65,7 +126,7 @@ func MmapRead(rc ufsclust.RunConfig, fileMB int) (Result, error) {
 // (copies included) and reports CPU share — the intro's "half of a
 // 12MIPS CPU" observation for the legacy system.
 func ReadWithCopy(rc ufsclust.RunConfig, fileMB int) (Result, error) {
-	m, err := ufsclust.NewMachineForRun(rc)
+	m, err := ufsclust.New(rc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -82,15 +143,16 @@ func ReadWithCopy(rc ufsclust.RunConfig, fileMB int) (Result, error) {
 			f.Write(p, off, chunk)
 		}
 		f.Purge(p)
-		m.ResetStats()
+		pre := m.Snapshot()
 		t0 := p.Now()
 		buf := make([]byte, 8192)
 		for off := int64(0); off < size; off += 8192 {
 			f.Read(p, off, buf)
 		}
 		res.Elapsed = p.Now() - t0
-		res.CPUTime = m.CPU.SystemTime()
-		res.Report = m.CPU.Report()
+		delta := m.Snapshot().Delta(pre)
+		res.CPUTime = sim.Time(delta.Get("cpu.system_ns"))
+		res.Report = cpuReport(delta)
 	})
 	if err != nil {
 		return Result{}, err

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // Params are the mechanical and electronic characteristics of a drive.
@@ -121,6 +122,10 @@ type Disk struct {
 	qWait sim.WaitQ
 
 	Stats Stats
+
+	// Telemetry; all nil (and nil-safe) until AttachTelemetry.
+	bus                      *telemetry.Bus
+	seekH, rotH, xferH, svcH *telemetry.Histogram
 }
 
 const chunkSectors = 128 // 64 KB image chunks
@@ -138,6 +143,32 @@ func New(s *sim.Sim, name string, p Params) *Disk {
 
 // Name returns the drive's name.
 func (d *Disk) Name() string { return d.name }
+
+// AttachTelemetry registers the drive's counters and latency
+// histograms and connects it to the event bus. Call once, at machine
+// construction, before any I/O.
+func (d *Disk) AttachTelemetry(tel *telemetry.Telemetry) {
+	d.bus = tel.Bus
+	r := tel.Reg
+	r.Counter("disk.reads", func() int64 { return d.Stats.Reads })
+	r.Counter("disk.writes", func() int64 { return d.Stats.Writes })
+	r.Counter("disk.sectors_read", func() int64 { return d.Stats.SectorsRead })
+	r.Counter("disk.sectors_written", func() int64 { return d.Stats.SectorsWritten })
+	r.Counter("disk.seeks", func() int64 { return d.Stats.SeekCount })
+	r.Counter("disk.seek_time_ns", func() int64 { return int64(d.Stats.SeekTime) })
+	r.Counter("disk.rot_wait_ns", func() int64 { return int64(d.Stats.RotWait) })
+	r.Counter("disk.xfer_time_ns", func() int64 { return int64(d.Stats.XferTime) })
+	r.Counter("disk.bus_time_ns", func() int64 { return int64(d.Stats.BusTime) })
+	r.Counter("disk.buf_hits", func() int64 { return d.Stats.BufHits })
+	r.Counter("disk.buf_misses", func() int64 { return d.Stats.BufMisses })
+	r.Counter("disk.busy_time_ns", func() int64 { return int64(d.Stats.BusyTime) })
+	r.Counter("disk.queue_wait_ns", func() int64 { return int64(d.Stats.QueueWait) })
+	r.Gauge("disk.queue_len", func() int64 { return int64(len(d.q)) })
+	d.seekH = r.Hist(telemetry.NewHistogram("disk.seek_ns", telemetry.UnitNs, telemetry.TimeBounds()))
+	d.rotH = r.Hist(telemetry.NewHistogram("disk.rotate_ns", telemetry.UnitNs, telemetry.TimeBounds()))
+	d.xferH = r.Hist(telemetry.NewHistogram("disk.transfer_ns", telemetry.UnitNs, telemetry.TimeBounds()))
+	d.svcH = r.Hist(telemetry.NewHistogram("disk.service_ns", telemetry.UnitNs, telemetry.TimeBounds()))
+}
 
 // Geom returns the drive geometry.
 func (d *Disk) Geom() *Geometry { return d.P.Geom }
@@ -191,8 +222,30 @@ func (d *Disk) serve(p *sim.Proc) {
 
 		start := p.Now()
 		d.Stats.QueueWait += start - r.queued
+		d.bus.Emit(telemetry.Event{
+			T:      start,
+			Kind:   telemetry.EvIOStart,
+			Sector: r.Sector,
+			Bytes:  int64(r.Count) * SectorSize,
+			Depth:  int64(len(d.q)),
+			Write:  r.Write,
+		})
+		seek0, rot0 := d.Stats.SeekTime, d.Stats.RotWait
+		xfer0 := d.Stats.XferTime + d.Stats.BusTime
 		d.service(p, r)
-		d.Stats.BusyTime += p.Now() - start
+		svc := p.Now() - start
+		d.Stats.BusyTime += svc
+		// Per-request phase latencies, from the Stats deltas the service
+		// routine accumulated. Seek and rotate observe only when the
+		// request paid them; transfer and total service always happen.
+		if dt := d.Stats.SeekTime - seek0; dt > 0 {
+			d.seekH.Observe(int64(dt))
+		}
+		if dt := d.Stats.RotWait - rot0; dt > 0 {
+			d.rotH.Observe(int64(dt))
+		}
+		d.xferH.Observe(int64(d.Stats.XferTime + d.Stats.BusTime - xfer0))
+		d.svcH.Observe(int64(svc))
 		if r.Write {
 			d.Stats.Writes++
 			d.Stats.SectorsWritten += int64(r.Count)

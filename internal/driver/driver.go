@@ -13,6 +13,7 @@ import (
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/disk"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // DefaultMaxPhys is the classic 56 KB transfer limit.
@@ -95,6 +96,28 @@ type Driver struct {
 	headAt int64 // last issued block, the elevator position
 
 	Stats Stats
+
+	// Telemetry; all nil (and nil-safe) until AttachTelemetry.
+	bus           *telemetry.Bus
+	depthH, xferH *telemetry.Histogram
+}
+
+// AttachTelemetry registers the driver's counters, the queue-depth
+// histogram (sampled on every enqueue and dequeue), and the per-issue
+// transfer-size histogram — the cluster-size distribution the paper's
+// throughput argument rests on.
+func (dr *Driver) AttachTelemetry(tel *telemetry.Telemetry) {
+	dr.bus = tel.Bus
+	r := tel.Reg
+	r.Counter("driver.queued", func() int64 { return dr.Stats.Queued })
+	r.Counter("driver.issued", func() int64 { return dr.Stats.Issued })
+	r.Counter("driver.coalesced", func() int64 { return dr.Stats.Coalesced })
+	r.Counter("driver.sort_skipped", func() int64 { return dr.Stats.SortSkipped })
+	r.Counter("driver.queue_wait_ns", func() int64 { return int64(dr.Stats.QueueWait) })
+	r.Gauge("driver.max_queue", func() int64 { return int64(dr.Stats.MaxQueue) })
+	r.Gauge("driver.queue_len", func() int64 { return int64(len(dr.queue)) })
+	dr.depthH = r.Hist(telemetry.NewHistogram("driver.qdepth", telemetry.UnitCount, telemetry.DepthBounds()))
+	dr.xferH = r.Hist(telemetry.NewHistogram("driver.xfer_sectors", telemetry.UnitCount, telemetry.SizeBounds()))
 }
 
 // New returns a driver for d. cpuModel may be nil for untimed tests.
@@ -143,6 +166,15 @@ func (dr *Driver) Strategy(p *sim.Proc, b *Buf) {
 	if n := len(dr.queue); n > dr.Stats.MaxQueue {
 		dr.Stats.MaxQueue = n
 	}
+	dr.depthH.Observe(int64(len(dr.queue)))
+	dr.bus.Emit(telemetry.Event{
+		T:      dr.Sim.Now(),
+		Kind:   telemetry.EvIOQueue,
+		Sector: b.Blkno,
+		Bytes:  int64(len(b.Data)),
+		Depth:  int64(len(dr.queue)),
+		Write:  b.Write,
+	})
 	dr.start()
 }
 
@@ -259,6 +291,8 @@ func (dr *Driver) start() {
 	dr.headAt = b.Blkno
 	dr.Stats.Issued++
 	dr.Stats.QueueWait += dr.Sim.Now() - b.queuedAt
+	dr.depthH.Observe(int64(len(dr.queue)))
+	dr.xferH.Observe(int64(b.Sectors()))
 	dr.Disk.Submit(&disk.Request{
 		Sector: b.Blkno,
 		Count:  b.Sectors(),
@@ -275,6 +309,15 @@ func (dr *Driver) complete(b *Buf) {
 		dr.CPU.ChargeInterrupt(cpu.Interrupt, dr.Cfg.InterruptInstr)
 	}
 	dr.active = false
+	dr.bus.Emit(telemetry.Event{
+		T:      dr.Sim.Now(),
+		Kind:   telemetry.EvIODone,
+		Sector: b.Blkno,
+		Bytes:  int64(len(b.Data)),
+		Depth:  int64(len(dr.queue)),
+		Dur:    dr.Sim.Now() - b.queuedAt,
+		Write:  b.Write,
+	})
 	if b.parent != nil {
 		off := 0
 		for _, c := range b.parent.children {

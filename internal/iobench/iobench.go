@@ -15,6 +15,7 @@ import (
 	"ufsclust"
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // Kind is one IObench I/O type.
@@ -46,6 +47,11 @@ type Params struct {
 	// (sim.Sim.TraceW). Only meaningful for a single Run: feeding one
 	// writer to concurrent runs would interleave their traces.
 	TraceW io.Writer
+
+	// EventW, when non-nil, receives the measured phase's telemetry
+	// events as JSON lines (setup I/O is excluded). Same-seed runs
+	// produce byte-identical streams. Single Run only, like TraceW.
+	EventW io.Writer
 }
 
 func (p Params) withDefaults() Params {
@@ -81,18 +87,28 @@ func (r Result) RateKBs() float64 {
 // Run executes one I/O type under one run configuration on a fresh
 // machine and returns the measured cell.
 func Run(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, error) {
+	res, _, err := RunMeasured(rc, kind, prm)
+	return res, err
+}
+
+// RunMeasured is Run plus the full telemetry of the measured phase: a
+// Snapshot delta spanning exactly the timed I/O loop, with setup
+// (preallocation, cache purge) excluded. Result stays a comparable
+// value for the determinism gates; callers who want disk seek
+// histograms or driver queue depths read them from the snapshot.
+func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetry.Snapshot, error) {
 	prm = prm.withDefaults()
-	opts := rc.Options()
-	opts.Seed = prm.Seed + 1
-	opts.MemBytes = prm.MemBytes
-	m, err := ufsclust.NewMachine(opts)
+	m, err := ufsclust.New(rc,
+		ufsclust.WithSeed(prm.Seed+1),
+		ufsclust.WithMemBytes(prm.MemBytes))
 	if err != nil {
-		return Result{}, err
+		return Result{}, telemetry.Snapshot{}, err
 	}
 	defer m.Close()
 	m.Sim.TraceW = prm.TraceW
 	size := int64(prm.FileMB) << 20
 	res := Result{Run: rc.Name, Kind: kind}
+	var snap telemetry.Snapshot
 
 	var runErr error
 	err = m.Run(func(p *sim.Proc) {
@@ -121,7 +137,10 @@ func Run(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, error) {
 			}
 			f.Purge(p)
 		}
-		m.ResetStats()
+		if prm.EventW != nil {
+			m.Tel.Bus.Subscribe(telemetry.NewJSONL(prm.EventW).Write)
+		}
+		pre := m.Snapshot()
 		t0 := p.Now()
 
 		switch kind {
@@ -164,15 +183,16 @@ func Run(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, error) {
 			return
 		}
 		res.Elapsed = p.Now() - t0
-		res.CPUTime = m.CPU.SystemTime()
+		snap = m.Snapshot().Delta(pre)
+		res.CPUTime = sim.Time(snap.Get("cpu.system_ns"))
 	})
 	if err != nil {
-		return Result{}, err
+		return Result{}, telemetry.Snapshot{}, err
 	}
 	if runErr != nil {
-		return Result{}, runErr
+		return Result{}, telemetry.Snapshot{}, runErr
 	}
-	return res, nil
+	return res, snap, nil
 }
 
 // Table is a full Figure 10: rows are runs, columns I/O types.
@@ -192,8 +212,8 @@ func RunAll(runs []ufsclust.RunConfig, kinds []Kind, prm Params) (*Table, error)
 // — and anything formatted from it — is byte-identical to the serial
 // table no matter how many workers ran it.
 func RunAllParallel(runs []ufsclust.RunConfig, kinds []Kind, prm Params, workers int) (*Table, error) {
-	if prm.TraceW != nil && workers != 1 {
-		return nil, fmt.Errorf("iobench: TraceW requires serial execution (workers=1)")
+	if (prm.TraceW != nil || prm.EventW != nil) && workers != 1 {
+		return nil, fmt.Errorf("iobench: TraceW/EventW require serial execution (workers=1)")
 	}
 	type job struct {
 		rc   ufsclust.RunConfig

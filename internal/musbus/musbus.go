@@ -13,6 +13,7 @@ import (
 
 	"ufsclust"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // Params sizes a run.
@@ -55,12 +56,17 @@ func (r Result) Throughput() float64 {
 
 // Run executes the workload under one paper configuration.
 func Run(rc ufsclust.RunConfig, prm Params) (Result, error) {
+	res, _, err := RunMeasured(rc, prm)
+	return res, err
+}
+
+// RunMeasured is Run plus a telemetry Snapshot delta spanning the
+// timed interval (machine assembly excluded).
+func RunMeasured(rc ufsclust.RunConfig, prm Params) (Result, telemetry.Snapshot, error) {
 	prm = prm.withDefaults()
-	opts := rc.Options()
-	opts.Seed = prm.Seed + 77
-	m, err := ufsclust.NewMachine(opts)
+	m, err := ufsclust.New(rc, ufsclust.WithSeed(prm.Seed+77))
 	if err != nil {
-		return Result{}, err
+		return Result{}, telemetry.Snapshot{}, err
 	}
 	defer m.Close()
 	m.Sim.TraceW = prm.TraceW
@@ -85,14 +91,16 @@ func Run(rc ufsclust.RunConfig, prm Params) (Result, error) {
 			})
 		}
 	})
+	pre := m.Snapshot()
 	if err := m.Sim.RunUntil(prm.Duration); err != nil {
-		return Result{}, err
+		return Result{}, telemetry.Snapshot{}, err
 	}
 	if setupErr != nil {
-		return Result{}, setupErr
+		return Result{}, telemetry.Snapshot{}, setupErr
 	}
-	res.CPUTime = m.CPU.SystemTime()
-	return res, nil
+	snap := m.Snapshot().Delta(pre)
+	res.CPUTime = sim.Time(snap.Get("cpu.system_ns"))
+	return res, snap, nil
 }
 
 // runUser loops a small interactive script forever: think, run a small

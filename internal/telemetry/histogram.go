@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"ufsclust/internal/sim"
+)
+
+// Unit selects how a histogram's bucket bounds render.
+type Unit uint8
+
+// Histogram units.
+const (
+	UnitCount Unit = iota // plain integers (queue depth, sectors)
+	UnitNs                // nanoseconds, rendered with sim.Time's adaptive format
+)
+
+// Histogram is a fixed-bucket distribution. Bounds are ascending and
+// upper-inclusive: an observation v lands in the first bucket whose
+// bound is >= v, or in the trailing overflow bucket. Buckets are fixed
+// at construction so Observe is a bounded linear scan with no
+// allocation — safe on the simulation's hot paths.
+type Histogram struct {
+	Name   string
+	Unit   Unit
+	bounds []int64
+	counts []int64 // len(bounds)+1; last is overflow
+	sum    int64
+	n      int64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds.
+func NewHistogram(name string, unit Unit, bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds not ascending: " + name) // simlint:invariant -- construction-time API misuse
+		}
+	}
+	return &Histogram{
+		Name:   name,
+		Unit:   unit,
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Nil-safe: a nil histogram (no telemetry
+// attached) is a no-op, so instrumented code needs no guards.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Reset zeroes the histogram (deprecated ResetStats path only).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum = 0
+	h.n = 0
+}
+
+// HistSnapshot is a histogram's state inside a Snapshot.
+type HistSnapshot struct {
+	Name   string
+	Unit   Unit
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1; last is overflow
+	Sum    int64
+	N      int64
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	return HistSnapshot{
+		Name:   h.Name,
+		Unit:   h.Unit,
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		N:      h.n,
+	}
+}
+
+// delta subtracts a previous snapshot of the same histogram.
+func (h HistSnapshot) delta(prev HistSnapshot) HistSnapshot {
+	if prev.N == 0 && prev.Sum == 0 {
+		return h
+	}
+	d := h
+	d.Counts = append([]int64(nil), h.Counts...)
+	for i := range d.Counts {
+		if i < len(prev.Counts) {
+			d.Counts[i] -= prev.Counts[i]
+		}
+	}
+	d.Sum -= prev.Sum
+	d.N -= prev.N
+	return d
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// bound renders one bucket bound in the histogram's unit.
+func (h HistSnapshot) bound(i int) string {
+	if i >= len(h.Bounds) {
+		return "+inf"
+	}
+	if h.Unit == UnitNs {
+		return sim.Time(h.Bounds[i]).String()
+	}
+	return strconv.FormatInt(h.Bounds[i], 10)
+}
+
+// format writes the nonempty buckets as "name: <=bound count ...".
+func (h HistSnapshot) format(w io.Writer) {
+	fmt.Fprintf(w, "%s (n=%d", h.Name, h.N)
+	if h.Unit == UnitNs {
+		fmt.Fprintf(w, ", mean %v", sim.Time(h.Mean()))
+	} else {
+		fmt.Fprintf(w, ", mean %.1f", h.Mean())
+	}
+	fmt.Fprint(w, ")\n")
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  <=%-10s %d\n", h.bound(i), c)
+	}
+}
+
+// TimeBounds returns the standard latency buckets: 250us doubling to
+// 128ms, covering command overhead through multi-seek worst cases on
+// the simulated drive.
+func TimeBounds() []int64 {
+	var out []int64
+	for b := 250 * sim.Microsecond; b <= 128*sim.Millisecond; b *= 2 {
+		out = append(out, int64(b))
+	}
+	return out
+}
+
+// DepthBounds returns the standard queue-depth buckets: 0, 1, then
+// doubling to 128.
+func DepthBounds() []int64 {
+	out := []int64{0}
+	for b := int64(1); b <= 128; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// SizeBounds returns the standard transfer-size buckets in sectors:
+// 1 (512 B) doubling to 256 (128 KB, run A's full cluster).
+func SizeBounds() []int64 {
+	var out []int64
+	for b := int64(1); b <= 256; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"testing"
+
+	"ufsclust/internal/sim"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Bounds are upper-inclusive: v lands in the first bucket whose
+	// bound is >= v.
+	h := NewHistogram("t", UnitCount, []int64{10, 20, 40})
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {9, 0}, {10, 0}, // at the bound stays in the bucket
+		{11, 1}, {20, 1},
+		{21, 2}, {40, 2},
+		{41, 3}, {1 << 40, 3}, // overflow
+		{-5, 0}, // below the first bound
+	}
+	for _, c := range cases {
+		h.Reset()
+		h.Observe(c.v)
+		s := h.snapshot()
+		for i, n := range s.Counts {
+			want := int64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%d): bucket %d = %d, want %d", c.v, i, n, want)
+			}
+		}
+	}
+}
+
+func TestHistogramSumAndMean(t *testing.T) {
+	h := NewHistogram("t", UnitCount, []int64{10})
+	h.Observe(4)
+	h.Observe(6)
+	h.Observe(20)
+	s := h.snapshot()
+	if s.N != 3 || s.Sum != 30 {
+		t.Errorf("n=%d sum=%d, want 3 and 30", s.N, s.Sum)
+	}
+	if s.Mean() != 10 {
+		t.Errorf("mean = %v, want 10", s.Mean())
+	}
+	if (HistSnapshot{}).Mean() != 0 {
+		t.Error("empty mean != 0")
+	}
+}
+
+func TestHistogramNilObserve(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic: unattached telemetry leaves hists nil
+}
+
+func TestHistogramDelta(t *testing.T) {
+	h := NewHistogram("t", UnitCount, []int64{10, 20})
+	h.Observe(5)
+	pre := h.snapshot()
+	h.Observe(15)
+	h.Observe(25)
+	d := h.snapshot().delta(pre)
+	if d.N != 2 || d.Sum != 40 {
+		t.Errorf("delta n=%d sum=%d, want 2 and 40", d.N, d.Sum)
+	}
+	if d.Counts[0] != 0 || d.Counts[1] != 1 || d.Counts[2] != 1 {
+		t.Errorf("delta counts = %v, want [0 1 1]", d.Counts)
+	}
+	// Delta against an empty prev is the identity.
+	id := h.snapshot().delta(HistSnapshot{})
+	if id.N != 3 {
+		t.Errorf("delta vs empty: n=%d, want 3", id.N)
+	}
+}
+
+func TestHistogramNonAscendingBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram("bad", UnitCount, []int64{10, 10})
+}
+
+func TestStandardBounds(t *testing.T) {
+	tb := TimeBounds()
+	if tb[0] != int64(250*sim.Microsecond) || tb[len(tb)-1] != int64(128*sim.Millisecond) {
+		t.Errorf("TimeBounds span [%d, %d], want [250us, 128ms]", tb[0], tb[len(tb)-1])
+	}
+	db := DepthBounds()
+	if db[0] != 0 || db[1] != 1 || db[len(db)-1] != 128 {
+		t.Errorf("DepthBounds = %v", db)
+	}
+	sb := SizeBounds()
+	if sb[0] != 1 || sb[len(sb)-1] != 256 {
+		t.Errorf("SizeBounds = %v", sb)
+	}
+	for _, bounds := range [][]int64{tb, db, sb} {
+		NewHistogram("check", UnitCount, bounds) // panics if not ascending
+	}
+}
+
+func TestObserveNoAlloc(t *testing.T) {
+	h := NewHistogram("t", UnitNs, TimeBounds())
+	n := testing.AllocsPerRun(1000, func() {
+		h.Observe(int64(3 * sim.Millisecond))
+	})
+	if n != 0 {
+		t.Errorf("Observe allocates %v per call, want 0", n)
+	}
+}

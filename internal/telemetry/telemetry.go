@@ -1,0 +1,212 @@
+// Package telemetry is the machine's observability layer: a
+// deterministic metrics registry (named counters and gauges, read
+// lazily from the subsystems that own them), fixed-bucket histograms
+// for latency and size distributions, and a typed event-trace bus.
+//
+// The registry replaces the old reset-and-read Stats discipline with
+// interval measurement: take a Snapshot before the measured phase and
+// another after, and Delta the two. Snapshots are pure reads — taking
+// one never perturbs simulated time, scheduling, or the counters
+// themselves, so back-to-back measurements on one machine compose.
+//
+// Determinism: every snapshot is sorted by metric name, histograms
+// observe values derived only from simulated state, and events are
+// emitted synchronously at fixed points in the simulated code path —
+// so two same-seed runs produce byte-identical formatted snapshots and
+// byte-identical JSONL event streams.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ufsclust/internal/sim"
+)
+
+// Telemetry bundles the two halves every machine carries: the metrics
+// registry and the event bus.
+type Telemetry struct {
+	Reg *Registry
+	Bus *Bus
+}
+
+// New returns an empty telemetry instance.
+func New() *Telemetry {
+	return &Telemetry{Reg: NewRegistry(), Bus: &Bus{}}
+}
+
+// metric is one registered counter or gauge: a name and a getter that
+// reads the live value from the owning subsystem.
+type metric struct {
+	name  string
+	gauge bool
+	get   func() int64
+}
+
+// Registry holds the machine's named metrics. Subsystems register
+// getters at construction (AttachTelemetry); nothing is copied or
+// accumulated here until Snapshot reads the live values.
+type Registry struct {
+	metrics []metric
+	names   map[string]bool
+	// sources contribute dynamically named counters (e.g. per-category
+	// CPU accounting, where workloads invent categories at run time).
+	sources []func(add func(name string, v int64))
+	hists   []*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Counter registers a monotonically increasing metric. Delta subtracts
+// counters between snapshots.
+func (r *Registry) Counter(name string, get func() int64) {
+	r.register(name, false, get)
+}
+
+// Gauge registers a point-in-time level (queue depth, free pages).
+// Delta keeps the newer snapshot's value rather than subtracting.
+func (r *Registry) Gauge(name string, get func() int64) {
+	r.register(name, true, get)
+}
+
+func (r *Registry) register(name string, gauge bool, get func() int64) {
+	if r.names[name] {
+		panic("telemetry: duplicate metric " + name) // simlint:invariant -- registration-time API misuse, caught at machine construction
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, metric{name: name, gauge: gauge, get: get})
+}
+
+// CounterSource registers a callback that contributes dynamically named
+// counters at snapshot time. The source must emit each name at most
+// once per snapshot and must prefix its names so they cannot collide
+// with registered metrics; emission order does not matter (snapshots
+// sort by name).
+func (r *Registry) CounterSource(emit func(add func(name string, v int64))) {
+	r.sources = append(r.sources, emit)
+}
+
+// Hist registers a histogram and returns it. The histogram's name
+// shares the metric namespace.
+func (r *Registry) Hist(h *Histogram) *Histogram {
+	if r.names[h.Name] {
+		panic("telemetry: duplicate metric " + h.Name) // simlint:invariant -- registration-time API misuse, caught at machine construction
+	}
+	r.names[h.Name] = true
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// ResetHists zeroes every registered histogram. Only the deprecated
+// ResetStats path uses it; Snapshot/Delta callers never need it.
+func (r *Registry) ResetHists() {
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Entry is one metric value inside a snapshot.
+type Entry struct {
+	Name  string
+	Value int64
+	Gauge bool
+}
+
+// Snapshot is a consistent reading of every metric at one instant of
+// virtual time. Entries are sorted by name; histogram snapshots are
+// sorted by histogram name.
+type Snapshot struct {
+	At       sim.Time // virtual time the snapshot was taken
+	Interval sim.Time // nonzero only on a Delta: At - prev.At
+	Entries  []Entry
+	Hists    []HistSnapshot
+}
+
+// Snapshot reads every registered metric, source, and histogram.
+func (r *Registry) Snapshot(at sim.Time) Snapshot {
+	s := Snapshot{At: at, Entries: make([]Entry, 0, len(r.metrics))}
+	for _, m := range r.metrics {
+		s.Entries = append(s.Entries, Entry{Name: m.name, Value: m.get(), Gauge: m.gauge})
+	}
+	for _, src := range r.sources {
+		src(func(name string, v int64) {
+			s.Entries = append(s.Entries, Entry{Name: name, Value: v})
+		})
+	}
+	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Name < s.Entries[j].Name })
+	for _, h := range r.hists {
+		s.Hists = append(s.Hists, h.snapshot())
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}
+
+// Get returns the value of a named metric, or zero if absent.
+func (s Snapshot) Get(name string) int64 {
+	i := sort.Search(len(s.Entries), func(i int) bool { return s.Entries[i].Name >= name })
+	if i < len(s.Entries) && s.Entries[i].Name == name {
+		return s.Entries[i].Value
+	}
+	return 0
+}
+
+// Hist returns the named histogram snapshot, or a zero snapshot if
+// absent.
+func (s Snapshot) Hist(name string) HistSnapshot {
+	for _, h := range s.Hists {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistSnapshot{}
+}
+
+// Delta returns the interval measurement s - prev: counters and
+// histogram contents subtract, gauges keep s's value (a level has no
+// meaningful difference). Metrics present only in s — dynamic counters
+// born during the interval — carry their full value.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		At:       s.At,
+		Interval: s.At - prev.At,
+		Entries:  make([]Entry, len(s.Entries)),
+	}
+	copy(d.Entries, s.Entries)
+	for i := range d.Entries {
+		if !d.Entries[i].Gauge {
+			d.Entries[i].Value -= prev.Get(d.Entries[i].Name)
+		}
+	}
+	d.Hists = make([]HistSnapshot, len(s.Hists))
+	for i, h := range s.Hists {
+		d.Hists[i] = h.delta(prev.Hist(h.Name))
+	}
+	return d
+}
+
+// Format writes a human-readable rendering: nonzero metrics in name
+// order, then every histogram with observations. Zero-valued counters
+// are elided so interval deltas read as a summary of what happened.
+func (s Snapshot) Format(w io.Writer) {
+	if s.Interval > 0 {
+		fmt.Fprintf(w, "interval %v (at %v)\n", s.Interval, s.At)
+	} else {
+		fmt.Fprintf(w, "at %v\n", s.At)
+	}
+	for _, e := range s.Entries {
+		if e.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %d\n", e.Name, e.Value)
+	}
+	for _, h := range s.Hists {
+		if h.N == 0 {
+			continue
+		}
+		h.format(w)
+	}
+}

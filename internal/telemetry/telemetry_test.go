@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"ufsclust/internal/sim"
+)
+
+func TestSnapshotReadsLiveValues(t *testing.T) {
+	r := NewRegistry()
+	var reads, depth int64
+	r.Counter("disk.reads", func() int64 { return reads })
+	r.Gauge("driver.queue_len", func() int64 { return depth })
+
+	s0 := r.Snapshot(0)
+	if got := s0.Get("disk.reads"); got != 0 {
+		t.Errorf("initial disk.reads = %d, want 0", got)
+	}
+	reads, depth = 7, 3
+	s1 := r.Snapshot(sim.Second)
+	if got := s1.Get("disk.reads"); got != 7 {
+		t.Errorf("disk.reads = %d, want 7", got)
+	}
+	if got := s1.Get("driver.queue_len"); got != 3 {
+		t.Errorf("driver.queue_len = %d, want 3", got)
+	}
+	if got := s1.Get("no.such.metric"); got != 0 {
+		t.Errorf("absent metric = %d, want 0", got)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz.last", func() int64 { return 1 })
+	r.Counter("aa.first", func() int64 { return 1 })
+	r.CounterSource(func(add func(string, int64)) {
+		add("mm.middle", 1)
+	})
+	s := r.Snapshot(0)
+	if len(s.Entries) != 3 {
+		t.Fatalf("len(Entries) = %d, want 3", len(s.Entries))
+	}
+	for i := 1; i < len(s.Entries); i++ {
+		if s.Entries[i-1].Name >= s.Entries[i].Name {
+			t.Errorf("entries not sorted: %q before %q", s.Entries[i-1].Name, s.Entries[i].Name)
+		}
+	}
+}
+
+func TestDeltaCountersSubtractGaugesKeep(t *testing.T) {
+	r := NewRegistry()
+	var reads, free int64
+	r.Counter("disk.reads", func() int64 { return reads })
+	r.Gauge("vm.free_pages", func() int64 { return free })
+
+	reads, free = 10, 100
+	pre := r.Snapshot(sim.Second)
+	reads, free = 25, 40
+	d := r.Snapshot(3 * sim.Second).Delta(pre)
+
+	if got := d.Get("disk.reads"); got != 15 {
+		t.Errorf("delta disk.reads = %d, want 15", got)
+	}
+	if got := d.Get("vm.free_pages"); got != 40 {
+		t.Errorf("delta vm.free_pages = %d, want 40 (gauges keep the newer value)", got)
+	}
+	if d.Interval != 2*sim.Second {
+		t.Errorf("Interval = %v, want 2s", d.Interval)
+	}
+	if d.At != 3*sim.Second {
+		t.Errorf("At = %v, want 3s", d.At)
+	}
+}
+
+func TestDeltaDynamicCounterBornMidInterval(t *testing.T) {
+	r := NewRegistry()
+	cats := map[string]int64{}
+	r.CounterSource(func(add func(string, int64)) {
+		for _, name := range []string{"cpu.copy.ns", "cpu.musbus-cmd.ns"} {
+			if v, ok := cats[name]; ok {
+				add(name, v)
+			}
+		}
+	})
+	cats["cpu.copy.ns"] = 50
+	pre := r.Snapshot(0)
+	cats["cpu.copy.ns"] = 80
+	cats["cpu.musbus-cmd.ns"] = 30 // born after pre
+	d := r.Snapshot(sim.Second).Delta(pre)
+	if got := d.Get("cpu.copy.ns"); got != 30 {
+		t.Errorf("delta cpu.copy.ns = %d, want 30", got)
+	}
+	if got := d.Get("cpu.musbus-cmd.ns"); got != 30 {
+		t.Errorf("delta cpu.musbus-cmd.ns = %d, want 30 (full value when absent from prev)", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disk.reads", func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Counter registration did not panic")
+		}
+	}()
+	r.Gauge("disk.reads", func() int64 { return 0 })
+}
+
+func TestDuplicateHistNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disk.seek_ns", func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("histogram colliding with a counter name did not panic")
+		}
+	}()
+	r.Hist(NewHistogram("disk.seek_ns", UnitNs, TimeBounds()))
+}
+
+func TestSnapshotIsPureRead(t *testing.T) {
+	r := NewRegistry()
+	var reads int64 = 5
+	r.Counter("disk.reads", func() int64 { return reads })
+	h := r.Hist(NewHistogram("disk.svc", UnitNs, TimeBounds()))
+	h.Observe(int64(sim.Millisecond))
+
+	s1 := r.Snapshot(sim.Second)
+	s2 := r.Snapshot(sim.Second)
+	if s1.Get("disk.reads") != s2.Get("disk.reads") {
+		t.Error("back-to-back snapshots disagree on a counter")
+	}
+	if s1.Hist("disk.svc").N != 1 || s2.Hist("disk.svc").N != 1 {
+		t.Error("taking a snapshot disturbed a histogram")
+	}
+}
+
+func TestFormatElidesZeroes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disk.reads", func() int64 { return 12 })
+	r.Counter("disk.writes", func() int64 { return 0 })
+	r.Hist(NewHistogram("disk.svc", UnitNs, TimeBounds())) // never observed
+
+	var sb strings.Builder
+	r.Snapshot(4200 * sim.Microsecond).Format(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "disk.reads") {
+		t.Errorf("format lost a nonzero counter:\n%s", out)
+	}
+	if strings.Contains(out, "disk.writes") {
+		t.Errorf("format printed a zero counter:\n%s", out)
+	}
+	if strings.Contains(out, "disk.svc") {
+		t.Errorf("format printed an empty histogram:\n%s", out)
+	}
+	if !strings.Contains(out, "at 4.20ms") {
+		t.Errorf("format missing timestamp header:\n%s", out)
+	}
+}
+
+func TestFormatDeterministic(t *testing.T) {
+	mk := func() string {
+		r := NewRegistry()
+		r.Counter("b.two", func() int64 { return 2 })
+		r.Counter("a.one", func() int64 { return 1 })
+		h := r.Hist(NewHistogram("c.hist", UnitCount, DepthBounds()))
+		h.Observe(3)
+		h.Observe(70)
+		var sb strings.Builder
+		r.Snapshot(sim.Second).Format(&sb)
+		return sb.String()
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("two identical registries format differently:\n%q\n%q", a, b)
+	}
+}

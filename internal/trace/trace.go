@@ -13,8 +13,25 @@ import (
 
 	"ufsclust"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
 )
+
+// actionName maps the bus events the figures care about to the paper's
+// vocabulary. Other event kinds return "".
+func actionName(k telemetry.EventKind) string {
+	switch k {
+	case telemetry.EvSyncRead:
+		return "sync"
+	case telemetry.EvReadAhead:
+		return "async"
+	case telemetry.EvWriteLie:
+		return "lie"
+	case telemetry.EvClusterPush:
+		return "push"
+	}
+	return ""
+}
 
 // PageEvents is everything that happened during the fault (or putpage)
 // for one page.
@@ -122,12 +139,13 @@ func readFigure(title string, rotdelayMs, maxcontig, npages int, clustered bool)
 		f.Purge(p)
 
 		var cur *PageEvents
-		m.Engine.Hook = func(event string, lbn int64, blocks int) {
-			if cur == nil {
+		m.Tel.Bus.Subscribe(func(ev telemetry.Event) {
+			name := actionName(ev.Kind)
+			if cur == nil || name == "" {
 				return
 			}
-			cur.Actions = append(cur.Actions, fmt.Sprintf("%s %s", event, lbnList(lbn, blocks)))
-		}
+			cur.Actions = append(cur.Actions, fmt.Sprintf("%s %s", name, lbnList(ev.LBN, int(ev.Blocks))))
+		})
 		buf := make([]byte, 8192)
 		for i := 0; i < npages; i++ {
 			pe := PageEvents{Page: int64(i)}
@@ -175,16 +193,17 @@ func Figure7() (*Figure, error) {
 			return
 		}
 		var cur *PageEvents
-		m.Engine.Hook = func(event string, lbn int64, blocks int) {
-			if cur == nil {
+		m.Tel.Bus.Subscribe(func(ev telemetry.Event) {
+			name := actionName(ev.Kind)
+			if cur == nil || name == "" {
 				return
 			}
-			s := event
-			if event == "push" {
-				s = fmt.Sprintf("push %s", lbnList(lbn, blocks))
+			s := name
+			if ev.Kind == telemetry.EvClusterPush {
+				s = fmt.Sprintf("push %s", lbnList(ev.LBN, int(ev.Blocks)))
 			}
 			cur.Actions = append(cur.Actions, s)
-		}
+		})
 		buf := make([]byte, 8192)
 		for i := 0; i < 6; i++ {
 			pe := PageEvents{Page: int64(i)}

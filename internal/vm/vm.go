@@ -13,6 +13,7 @@ import (
 
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 )
 
 // PageSize is the system page size. Per the paper's footnote 3 the file
@@ -137,6 +138,28 @@ type VM struct {
 	daemonBusy bool
 
 	Stats Stats
+
+	// Telemetry; nil (and nil-safe) until AttachTelemetry.
+	bus *telemetry.Bus
+}
+
+// AttachTelemetry registers the VM counters and the free-memory gauge
+// and connects the pageout daemon to the event bus.
+func (v *VM) AttachTelemetry(tel *telemetry.Telemetry) {
+	v.bus = tel.Bus
+	r := tel.Reg
+	r.Counter("vm.lookups", func() int64 { return v.Stats.Lookups })
+	r.Counter("vm.hits", func() int64 { return v.Stats.Hits })
+	r.Counter("vm.reclaims", func() int64 { return v.Stats.Reclaims })
+	r.Counter("vm.misses", func() int64 { return v.Stats.Misses })
+	r.Counter("vm.allocs", func() int64 { return v.Stats.Allocs })
+	r.Counter("vm.steals", func() int64 { return v.Stats.Steals })
+	r.Counter("vm.pageouts", func() int64 { return v.Stats.Pageouts })
+	r.Counter("vm.free_behind", func() int64 { return v.Stats.FreeBehind })
+	r.Counter("vm.scans", func() int64 { return v.Stats.Scans })
+	r.Counter("vm.daemon_runs", func() int64 { return v.Stats.DaemonRuns })
+	r.Counter("vm.mem_waits", func() int64 { return v.Stats.MemWaits })
+	r.Gauge("vm.free_pages", func() int64 { return int64(len(v.free)) })
 }
 
 // New builds the page pool and starts the pageout daemon.
@@ -346,6 +369,7 @@ func (v *VM) pageoutDaemon(p *sim.Proc) {
 		// must let I/O complete rather than spin.
 		maxScan := 2 * len(v.pages)
 		scanned := 0
+		freed := 0
 		for len(v.free) < target && scanned < maxScan {
 			front := v.pages[v.hand1]
 			v.hand1 = (v.hand1 + 1) % len(v.pages)
@@ -374,7 +398,14 @@ func (v *VM) pageoutDaemon(p *sim.Proc) {
 				continue
 			}
 			v.Free(back, false)
+			freed++
 		}
+		v.bus.Emit(telemetry.Event{
+			T:      p.Now(),
+			Kind:   telemetry.EvPageoutScan,
+			Depth:  int64(scanned),
+			Blocks: int64(freed),
+		})
 		if len(v.free) < target {
 			// Everything in sight is busy; wait for completions.
 			p.Sleep(4 * sim.Millisecond)

@@ -1,0 +1,86 @@
+package ufsclust
+
+import (
+	"io"
+
+	"ufsclust/internal/core"
+	"ufsclust/internal/disk"
+	"ufsclust/internal/driver"
+	"ufsclust/internal/ufs"
+)
+
+// Option adjusts the machine options derived from a RunConfig. Options
+// compose left to right, so later options win.
+type Option func(*Options)
+
+// WithSeed sets the simulation's RNG seed.
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithMIPS sets the CPU speed in million instructions per second.
+func WithMIPS(mips float64) Option {
+	return func(o *Options) { o.MIPS = mips }
+}
+
+// WithMemBytes sets physical memory (0 keeps the paper's 8 MB).
+func WithMemBytes(n int64) Option {
+	return func(o *Options) { o.MemBytes = n }
+}
+
+// WithDiskParams replaces the drive characteristics.
+func WithDiskParams(p disk.Params) Option {
+	return func(o *Options) { o.Disk = &p }
+}
+
+// WithDriverConfig replaces the driver configuration.
+func WithDriverConfig(c driver.Config) Option {
+	return func(o *Options) { o.Driver = &c }
+}
+
+// WithMkfs replaces the mkfs tuning.
+func WithMkfs(mk ufs.MkfsOpts) Option {
+	return func(o *Options) { o.Mkfs = mk }
+}
+
+// WithMount replaces the mount options.
+func WithMount(mo ufs.MountOpts) Option {
+	return func(o *Options) { o.Mount = mo }
+}
+
+// WithEngine replaces the engine configuration.
+func WithEngine(c core.Config) Option {
+	return func(o *Options) { o.Engine = c }
+}
+
+// WithWriteLimit sets the per-file cap on queued write bytes
+// (0 disables the limit), overriding the RunConfig's choice.
+func WithWriteLimit(bytes int64) Option {
+	return func(o *Options) { o.Mount.WriteLimit = bytes }
+}
+
+// WithFreeBehind overrides the RunConfig's free-behind setting.
+func WithFreeBehind(on bool) Option {
+	return func(o *Options) { o.Engine.FreeBehind = on }
+}
+
+// WithTelemetry streams every telemetry event to w as JSON Lines.
+// Same-seed runs produce byte-identical streams.
+func WithTelemetry(w io.Writer) Option {
+	return func(o *Options) { o.EventJSONL = w }
+}
+
+// New assembles a machine for one of the paper's run configurations,
+// with functional options applied on top — the constructor sweeps use
+// instead of mutating the Options struct by hand:
+//
+//	m, err := ufsclust.New(ufsclust.RunA(),
+//		ufsclust.WithMemBytes(16<<20),
+//		ufsclust.WithSeed(7))
+func New(rc RunConfig, opts ...Option) (*Machine, error) {
+	o := rc.Options()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return NewMachine(o)
+}

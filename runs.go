@@ -75,6 +75,7 @@ func (rc RunConfig) Options() Options {
 }
 
 // NewMachineForRun assembles a machine for one of the paper's runs.
+// It is New(rc) with no options; kept for existing callers.
 func NewMachineForRun(rc RunConfig) (*Machine, error) {
-	return NewMachine(rc.Options())
+	return New(rc)
 }

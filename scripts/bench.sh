@@ -3,7 +3,8 @@
 #
 # Builds cmd/simbench and measures the kernel's host cost (events/sec,
 # allocs/event, context-switch and ping-pong latency, parallel-runner
-# scaling), writing the report to BENCH_sim.json at the repo root.
+# scaling, and the telemetry bus's zero-subscriber Emit overhead),
+# writing the report to BENCH_sim.json at the repo root.
 #
 # If a BENCH_sim.json already exists, its recorded baseline (the
 # pre-fast-path kernel, measured interleaved against the new one when

@@ -13,6 +13,8 @@
 #                                          the simlint golden tests
 #   5. go test -race ./internal/sim/...    the packages that touch host
 #      go test -race ./internal/runner/... goroutines and channels
+#      go test -race ./internal/telemetry/...  (and the bus, whose
+#                                          subscribers run on hot paths)
 #
 # Usage: scripts/check.sh  (from anywhere inside the repo)
 set -eu
@@ -40,5 +42,8 @@ go test -race ./internal/sim/...
 
 echo "==> go test -race ./internal/runner/..."
 go test -race ./internal/runner/...
+
+echo "==> go test -race ./internal/telemetry/..."
+go test -race ./internal/telemetry/...
 
 echo "check: all gates passed"

@@ -11,23 +11,27 @@
 //
 // Quick start:
 //
-//	m, _ := ufsclust.NewMachineForRun(ufsclust.RunA())
+//	m, _ := ufsclust.New(ufsclust.RunA())
+//	pre := m.Snapshot()
 //	m.Run(func(p *sim.Proc) {
 //		f, _ := m.Engine.Create(p, "/data")
 //		f.Write(p, 0, make([]byte, 1<<20))
 //		f.Fsync(p)
 //	})
-//	fmt.Println(m.Disk.Stats.BytesMoved(), m.Sim.Now())
+//	delta := m.Snapshot().Delta(pre)
+//	fmt.Println(delta.Get("disk.sectors_written"), m.Sim.Now())
 package ufsclust
 
 import (
 	"fmt"
+	"io"
 
 	"ufsclust/internal/core"
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/disk"
 	"ufsclust/internal/driver"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
 	"ufsclust/internal/vm"
 )
@@ -47,6 +51,11 @@ type Options struct {
 	Mkfs   ufs.MkfsOpts
 	Mount  ufs.MountOpts
 	Engine core.Config
+
+	// EventJSONL, when non-nil, receives every telemetry event as one
+	// JSON line (see internal/telemetry's JSONLWriter). Same-seed runs
+	// produce byte-identical streams.
+	EventJSONL io.Writer
 }
 
 // Machine is a fully assembled simulated system.
@@ -58,6 +67,12 @@ type Machine struct {
 	VM     *vm.VM
 	FS     *ufs.Fs
 	Engine *core.Engine
+
+	// Tel is the machine's telemetry: every subsystem's counters and
+	// histograms registered in Tel.Reg, every subsystem's events
+	// emitted on Tel.Bus. Read it through Snapshot; subscribe to
+	// Tel.Bus for the structured event stream.
+	Tel *telemetry.Telemetry
 }
 
 // NewMachine builds a machine, formats its disk, and mounts it.
@@ -70,6 +85,7 @@ func NewMachine(o Options) (*Machine, error) {
 	}
 	s := sim.New(o.Seed)
 	cm := cpu.New(s, o.MIPS)
+	tel := telemetry.New()
 
 	dp := disk.DefaultParams()
 	if o.Disk != nil {
@@ -92,7 +108,16 @@ func NewMachine(o Options) (*Machine, error) {
 	}
 	v := vm.New(s, cm, vm.Config{MemBytes: o.MemBytes})
 	eng := core.NewEngine(s, cm, v, fs, o.Engine)
-	return &Machine{Sim: s, CPU: cm, Disk: d, Driver: dr, VM: v, FS: fs, Engine: eng}, nil
+	cm.AttachTelemetry(tel)
+	d.AttachTelemetry(tel)
+	dr.AttachTelemetry(tel)
+	fs.AttachTelemetry(tel)
+	v.AttachTelemetry(tel)
+	eng.AttachTelemetry(tel)
+	if o.EventJSONL != nil {
+		tel.Bus.Subscribe(telemetry.NewJSONL(o.EventJSONL).Write)
+	}
+	return &Machine{Sim: s, CPU: cm, Disk: d, Driver: dr, VM: v, FS: fs, Engine: eng, Tel: tel}, nil
 }
 
 // Run spawns fn as a simulated process and drives the simulation until
@@ -115,12 +140,32 @@ func (m *Machine) Fsck() (*ufs.FsckReport, error) {
 	return ufs.Fsck(m.Disk)
 }
 
-// ResetStats zeroes every statistics counter (after benchmark setup).
-// The virtual clock keeps running; measure intervals with Sim.Now().
+// Snapshot reads every registered metric and histogram at the current
+// virtual time. It is a pure read — no counter is disturbed, no
+// simulated time passes — so interval measurement is simply:
+//
+//	pre := m.Snapshot()
+//	... measured phase ...
+//	delta := m.Snapshot().Delta(pre)
+func (m *Machine) Snapshot() telemetry.Snapshot {
+	return m.Tel.Reg.Snapshot(m.Sim.Now())
+}
+
+// ResetStats zeroes every statistics counter and histogram (after
+// benchmark setup). The virtual clock keeps running; measure intervals
+// with Sim.Now().
+//
+// Deprecated: take a Snapshot before and after the measured phase and
+// Delta the two instead; resetting shared counters makes back-to-back
+// measurements on one machine interfere. This shim now also zeroes the
+// ufs.Fs allocator and metadata-cache counters, which the original
+// field-poking version forgot.
 func (m *Machine) ResetStats() {
 	m.Disk.Stats = disk.Stats{}
 	m.Driver.Stats = driver.Stats{}
 	m.VM.Stats = vm.Stats{}
 	m.Engine.Stats = core.Stats{}
+	m.FS.ResetStats()
 	m.CPU.Reset()
+	m.Tel.Reg.ResetHists()
 }
