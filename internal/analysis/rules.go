@@ -34,6 +34,9 @@ var modelPkgs = map[string]bool{
 	// are called from disk service and driver strategy), so it is held
 	// to the same no-goroutine discipline.
 	modulePath + "/internal/telemetry": true,
+	// fault injection is a bus subscriber executing inside the model's
+	// emission sites; a stray goroutine there would desync replays.
+	modulePath + "/internal/fault": true,
 }
 
 func isInternal(path string) bool {

@@ -185,7 +185,23 @@ type Vnode struct {
 	// InodeDataMax) when Config.InodeDataCache is on; nil otherwise or
 	// after invalidation.
 	inodeData []byte
+
+	// ioErr is the vnode's sticky I/O error: the first device error seen
+	// by any of this file's transfers (including asynchronous ones whose
+	// initiating call already returned). Once set, Read, Write and Fsync
+	// fail with it — the classic "EIO until the file is closed" contract.
+	ioErr error
 }
+
+// recordErr latches the vnode's first I/O error.
+func (vn *Vnode) recordErr(err error) {
+	if vn.ioErr == nil && err != nil {
+		vn.ioErr = err
+	}
+}
+
+// Err returns the vnode's sticky I/O error, if any.
+func (vn *Vnode) Err() error { return vn.ioErr }
 
 // vnode returns (creating if needed) the vnode for an inode.
 func (e *Engine) vnode(ip *ufs.Inode) *Vnode {
@@ -245,9 +261,12 @@ func (f *File) Size() int64 { return f.vn.IP.D.Size }
 // Inode exposes the underlying inode (benchmarks inspect layout).
 func (f *File) Inode() *ufs.Inode { return f.vn.IP }
 
-// Fsync pushes any delayed writes and waits for all of this file's
-// write I/O to reach the platter.
-func (f *File) Fsync(p *sim.Proc) {
+// Fsync pushes any delayed writes, waits for all of this file's write
+// I/O to reach the platter, and then writes the file's metadata (the
+// indirect blocks and the inode itself) synchronously. Only when Fsync
+// returns nil is the file's data durable: a power cut after that point
+// loses nothing that was written before the call.
+func (f *File) Fsync(p *sim.Proc) error {
 	vn := f.vn
 	if vn.IP.Delaylen > 0 {
 		f.eng.push(p, vn, vn.IP.Delayoff, vn.IP.Delaylen, true)
@@ -256,13 +275,22 @@ func (f *File) Fsync(p *sim.Proc) {
 	for vn.pending > 0 {
 		p.Block(&vn.pendingWait)
 	}
+	if err := f.eng.FS.SyncInode(p, vn.IP); err != nil {
+		vn.recordErr(err)
+	}
+	if err := vn.Err(); err != nil {
+		return err
+	}
+	// A metadata write that failed with no caller to report to (an
+	// eviction, a delayed bitmap write) is sticky on the file system.
+	return f.eng.FS.IOErr()
 }
 
 // Purge flushes delayed writes and evicts every cached page of the
 // file: the "cold cache" primitive benchmarks use between a file's
 // creation and its measured read. It also resets the read predictors.
-func (f *File) Purge(p *sim.Proc) {
-	f.Fsync(p)
+func (f *File) Purge(p *sim.Proc) error {
+	err := f.Fsync(p)
 	for _, pg := range f.eng.VM.ObjectPages(f.vn) {
 		pg.WaitUnbusy(p)
 		f.eng.VM.Destroy(pg)
@@ -270,12 +298,15 @@ func (f *File) Purge(p *sim.Proc) {
 	f.vn.IP.Nextr, f.vn.IP.Nextrio = 0, 0
 	f.vn.seq = false
 	f.vn.inodeData = nil
+	return err
 }
 
 // Truncate resizes the file, invalidating cached pages past the end.
 func (f *File) Truncate(p *sim.Proc, size int64) error {
 	f.vn.inodeData = nil
-	f.Fsync(p)
+	if err := f.Fsync(p); err != nil {
+		return err
+	}
 	for _, pg := range f.eng.VM.ObjectPages(f.vn) {
 		if pg.Off >= size {
 			pg.WaitUnbusy(p)

@@ -10,15 +10,18 @@ import (
 
 // GetPage is the fault path: return the page at byte offset off of vn,
 // reading (and possibly reading ahead) as the configured engine
-// dictates. The returned page is not busy and holds valid data.
-func (e *Engine) GetPage(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
+// dictates. The returned page is not busy and holds valid data. A
+// metadata read error (bmap could not reach an indirect block) is
+// returned directly; a data read error is latched on the vnode by the
+// completion handler — callers check vn.Err after waiting.
+func (e *Engine) GetPage(p *sim.Proc, vn *Vnode, off int64) (*vm.Page, error) {
 	return e.GetPageHint(p, vn, off, 1)
 }
 
 // GetPageHint is GetPage with the caller's total request size (in
 // blocks from off) passed down — the Further Work "random clustering"
 // hint, used only when Config.RandomClustering is on.
-func (e *Engine) GetPageHint(p *sim.Proc, vn *Vnode, off int64, hintBlocks int) *vm.Page {
+func (e *Engine) GetPageHint(p *sim.Proc, vn *Vnode, off int64, hintBlocks int) (*vm.Page, error) {
 	e.Stats.GetPages++
 	e.charge(p, cpu.GetPage, e.Cfg.Costs.GetPage)
 	if e.Cfg.Clustered {
@@ -36,7 +39,7 @@ func noHoles(e *Engine, vn *Vnode) bool {
 
 // getpageLegacy is Figure 2: block-at-a-time with one-block read-ahead
 // driven by the nextr prediction.
-func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
+func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) (*vm.Page, error) {
 	sb := e.FS.SB
 	lbn := sb.Lblkno(off)
 
@@ -57,7 +60,8 @@ func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
 		var err error
 		fsbn, _, err = e.FS.Bmap(p, vn.IP, lbn)
 		if err != nil {
-			panic(err) // simlint:invariant -- lbn is bounded by the Read path before getpage
+			vn.recordErr(err)
+			return nil, err
 		}
 		e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
 		pg, cached = e.VM.Lookup(vn, lbn*int64(sb.Bsize))
@@ -89,12 +93,12 @@ func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) *vm.Page {
 	pg.WaitUnbusy(p)
 	// predict next I/O location.
 	vn.IP.Nextr = lbn + 1
-	return pg
+	return pg, nil
 }
 
 // getpageClustered is Figure 6: transfer whole clusters and read ahead a
 // cluster at a time, tracked by nextrio.
-func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks int) *vm.Page {
+func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks int) (*vm.Page, error) {
 	sb := e.FS.SB
 	lbn := sb.Lblkno(off)
 
@@ -109,13 +113,14 @@ func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks 
 			vn.seq = false
 			pg.WaitUnbusy(p)
 			vn.IP.Nextr = lbn + 1
-			return pg
+			return pg, nil
 		}
 	}
 
 	fsbn, contig, err := e.FS.Bmap(p, vn.IP, lbn)
 	if err != nil {
-		panic(err) // simlint:invariant -- lbn is bounded by the Read path before getpage
+		vn.recordErr(err)
+		return nil, err
 	}
 	// The transfer must fit the driver: a cluster is at most
 	// min(maxcontig, maxphys/bsize) blocks.
@@ -177,7 +182,7 @@ func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks 
 
 	pg.WaitUnbusy(p)
 	vn.IP.Nextr = lbn + 1
-	return pg
+	return pg, nil
 }
 
 // startRead allocates pages for blocks [lbn, lbn+nblocks) that are not
@@ -231,6 +236,20 @@ func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblock
 			Blkno: sb.FsbToDb(fsbn + int32(runStart)*sb.Frag),
 			Data:  xfer,
 			Iodone: func(b *driver.Buf) {
+				if b.Err != nil {
+					// The transfer never produced data: latch the error
+					// on the vnode and release the pages zeroed, so the
+					// waiters unblock and Read reports the failure.
+					vn.recordErr(b.Err)
+					for _, pg := range pgs {
+						for j := range pg.Data {
+							pg.Data[j] = 0
+						}
+						pg.ClearDirty()
+						pg.Unbusy()
+					}
+					return
+				}
 				off := 0
 				for i, pg := range pgs {
 					n := szs[i]

@@ -67,7 +67,14 @@ func (e *Engine) push(p *sim.Proc, vn *Vnode, off, length int64, limit bool) {
 		}
 		fsbn, contig, err := e.FS.Bmap(p, vn.IP, lbn)
 		if err != nil {
-			panic(err) // simlint:invariant -- lbn is bounded by the Write path before push
+			// An indirect block could not be read: the page's backing
+			// location is unknowable. Latch the error and drop the page's
+			// dirty bit — leaving it dirty would spin the pageout daemon
+			// against the same failure forever.
+			vn.recordErr(err)
+			pg.ClearDirty()
+			lbn++
+			continue
 		}
 		if fsbn == 0 {
 			panic("core: dirty page over a hole") // simlint:invariant -- writes allocate backing before dirtying
@@ -147,7 +154,13 @@ func (e *Engine) push(p *sim.Proc, vn *Vnode, off, length int64, limit bool) {
 			Blkno: sb.FsbToDb(fsbn),
 			Data:  xfer,
 			Write: true,
-			Iodone: func(*driver.Buf) {
+			Iodone: func(b *driver.Buf) {
+				if b.Err != nil {
+					// Data never reached the platter: latch the error so
+					// Fsync reports it. The pages still unbusy and drop
+					// their dirty bits — repushing would only refail.
+					vn.recordErr(b.Err)
+				}
 				for _, q := range pgs {
 					q.ClearDirty()
 					q.Unbusy()

@@ -20,6 +20,9 @@ func (f *File) Read(p *sim.Proc, off int64, buf []byte) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset")
 	}
+	if err := vn.Err(); err != nil {
+		return 0, err
+	}
 	e.charge(p, cpu.Syscall, e.Cfg.Costs.Syscall)
 
 	// Further Work, "data in the inode": serve small files from the
@@ -27,7 +30,13 @@ func (f *File) Read(p *sim.Proc, off int64, buf []byte) (int, error) {
 	if e.Cfg.InodeDataCache && vn.IP.D.Size <= InodeDataMax {
 		if vn.inodeData == nil {
 			// First touch: fill the cache through the normal path.
-			pg := e.GetPage(p, vn, 0)
+			pg, err := e.GetPage(p, vn, 0)
+			if err != nil {
+				return 0, err
+			}
+			if err := vn.Err(); err != nil {
+				return 0, err
+			}
 			vn.inodeData = append([]byte(nil), pg.Data[:vn.IP.D.Size]...)
 		} else {
 			e.Stats.InodeDataHits++
@@ -56,7 +65,15 @@ func (f *File) Read(p *sim.Proc, off int64, buf []byte) (int, error) {
 		e.charge(p, cpu.Syscall, e.Cfg.Costs.MapBlock)
 		e.charge(p, cpu.Fault, e.Cfg.Costs.Fault)
 		hint := (boff + len(buf) + int(sb.Bsize) - 1) / int(sb.Bsize)
-		pg := e.GetPageHint(p, vn, off-int64(boff), hint)
+		pg, err := e.GetPageHint(p, vn, off-int64(boff), hint)
+		if err != nil {
+			return total, err
+		}
+		// The demand read for this page has completed (GetPage waits):
+		// if it failed, the vnode error is latched by now.
+		if err := vn.Err(); err != nil {
+			return total, err
+		}
 		pg.Touch()
 
 		e.charge(p, cpu.Copy, e.Cfg.Costs.CopyPerByte*int64(n))
@@ -85,7 +102,7 @@ func (f *File) Read(p *sim.Proc, off int64, buf []byte) (int, error) {
 type segPager struct{ e *Engine }
 
 // Fault implements vm.SegPager.
-func (sp segPager) Fault(p *sim.Proc, obj vm.Object, off int64) *vm.Page {
+func (sp segPager) Fault(p *sim.Proc, obj vm.Object, off int64) (*vm.Page, error) {
 	vn := obj.(*Vnode)
 	sp.e.charge(p, cpu.Fault, sp.e.Cfg.Costs.Fault)
 	return sp.e.GetPage(p, vn, off)
@@ -148,6 +165,9 @@ func (f *File) Write(p *sim.Proc, off int64, data []byte) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: negative offset")
 	}
+	if err := vn.Err(); err != nil {
+		return 0, err
+	}
 	e.charge(p, cpu.Syscall, e.Cfg.Costs.Syscall)
 	vn.inodeData = nil // writes invalidate the inode data cache
 
@@ -161,7 +181,10 @@ func (f *File) Write(p *sim.Proc, off int64, data []byte) (int, error) {
 		if lastLbn < ufs.NDADDR && tail < int(sb.Bsize) &&
 			off+int64(len(data)) > (lastLbn+1)*int64(sb.Bsize) {
 			e.charge(p, cpu.Fault, e.Cfg.Costs.Fault)
-			pg := e.GetPage(p, vn, lastLbn*int64(sb.Bsize))
+			pg, err := e.GetPage(p, vn, lastLbn*int64(sb.Bsize))
+			if err != nil {
+				return 0, err
+			}
 			if _, err := e.FS.BmapAlloc(p, vn.IP, lastLbn, int(sb.Bsize)); err != nil {
 				return 0, err
 			}
@@ -217,7 +240,10 @@ func (f *File) Write(p *sim.Proc, off int64, data []byte) (int, error) {
 			page.WaitUnbusy(p)
 			e.Stats.CacheHits++
 		} else if needOld {
-			page = e.GetPage(p, vn, blockStart)
+			page, err = e.GetPage(p, vn, blockStart)
+			if err != nil {
+				return total, err
+			}
 		} else {
 			page = e.VM.Alloc(p, vn, blockStart)
 			for i := range page.Data {

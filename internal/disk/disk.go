@@ -1,11 +1,18 @@
 package disk
 
 import (
+	"errors"
 	"math"
 
+	"ufsclust/internal/fault"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
 )
+
+// ErrMedia is the drive-level error for a failed transfer (injected by
+// a fault plan). The driver wraps it in a typed DevError once retries
+// are exhausted; errors.Is(err, disk.ErrMedia) sees through the wrap.
+var ErrMedia = errors.New("disk: media error")
 
 // Params are the mechanical and electronic characteristics of a drive.
 type Params struct {
@@ -42,7 +49,17 @@ type Params struct {
 	// BusRate is the electronics transfer rate in bytes/second used for
 	// track-buffer hits.
 	BusRate int64
+
+	// ErrorLatency is the extra time a failed transfer spends before
+	// the drive reports the error (internal retries, ECC attempts).
+	// Real drives of the era took tens of milliseconds to give up on a
+	// sector. 0 means DefaultErrorLatency.
+	ErrorLatency Time
 }
+
+// DefaultErrorLatency is the failed-transfer report time used when
+// Params.ErrorLatency is zero.
+const DefaultErrorLatency = 15 * Millisecond
 
 // DefaultParams returns values representative of a 1990 3.5" SCSI drive
 // and calibrated against the paper's numbers (4 ms block time, ~1.5 MB/s
@@ -74,6 +91,10 @@ type Request struct {
 	// Done is invoked in scheduler context when the operation completes
 	// (the "interrupt"). May be nil.
 	Done func()
+	// Err is set before Done runs when the transfer failed (ErrMedia).
+	// On a failed read Data is untouched; on a failed write the media
+	// is untouched.
+	Err error
 
 	queued Time
 }
@@ -90,6 +111,7 @@ type Stats struct {
 	BufHits, BufMisses          int64 // per segment, reads only
 	BusyTime                    Time  // total time servicing requests
 	QueueWait                   Time  // time requests spent queued
+	MediaErrors                 int64 // transfers failed by the fault plan
 }
 
 // BytesMoved returns total bytes transferred in either direction.
@@ -121,6 +143,12 @@ type Disk struct {
 	q     []*Request
 	qWait sim.WaitQ
 
+	// inj, when attached, decides which transfers fail; torn tracks
+	// the write transfer in flight so a power cut can freeze the image
+	// with exactly the sectors physically written by the cut instant.
+	inj  *fault.Injector
+	torn tornXfer
+
 	Stats Stats
 
 	// Telemetry; all nil (and nil-safe) until AttachTelemetry.
@@ -134,6 +162,9 @@ const chunkSectors = 128 // 64 KB image chunks
 func New(s *sim.Sim, name string, p Params) *Disk {
 	if p.Geom == nil {
 		p.Geom = DefaultGeometry()
+	}
+	if p.ErrorLatency == 0 {
+		p.ErrorLatency = DefaultErrorLatency
 	}
 	d := &Disk{P: p, Sim: s, name: name, image: make(map[int64][]byte)}
 	d.qWait.Name = name + ".queue"
@@ -163,11 +194,52 @@ func (d *Disk) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("disk.buf_misses", func() int64 { return d.Stats.BufMisses })
 	r.Counter("disk.busy_time_ns", func() int64 { return int64(d.Stats.BusyTime) })
 	r.Counter("disk.queue_wait_ns", func() int64 { return int64(d.Stats.QueueWait) })
+	r.Counter("disk.media_errors", func() int64 { return d.Stats.MediaErrors })
 	r.Gauge("disk.queue_len", func() int64 { return int64(len(d.q)) })
 	d.seekH = r.Hist(telemetry.NewHistogram("disk.seek_ns", telemetry.UnitNs, telemetry.TimeBounds()))
 	d.rotH = r.Hist(telemetry.NewHistogram("disk.rotate_ns", telemetry.UnitNs, telemetry.TimeBounds()))
 	d.xferH = r.Hist(telemetry.NewHistogram("disk.transfer_ns", telemetry.UnitNs, telemetry.TimeBounds()))
 	d.svcH = r.Hist(telemetry.NewHistogram("disk.service_ns", telemetry.UnitNs, telemetry.TimeBounds()))
+}
+
+// AttachFaults connects a fault injector: the drive consults it after
+// every io_start emission and registers a crash hook that freezes any
+// write transfer in flight at the cut, torn at sector granularity.
+// Fault matching rides the telemetry stream, so a drive without
+// AttachTelemetry never sees injected faults.
+func (d *Disk) AttachFaults(inj *fault.Injector) {
+	d.inj = inj
+	inj.OnCrash(d.freezeTorn)
+}
+
+// tornXfer is the write transfer currently on the media: armed just
+// before the transfer sleep in segment, cleared when the sleep ends.
+type tornXfer struct {
+	active bool
+	sector int64
+	buf    []byte
+	start  Time // instant the first sector hits the media
+	st     Time // per-sector transfer time
+}
+
+// freezeTorn runs at a power cut: if a write transfer was in flight,
+// apply to the image exactly the whole sectors the head had finished
+// by the cut instant. Everything after the cut is lost — including the
+// rest of this transfer, because the drive process never resumes once
+// the sim stops.
+func (d *Disk) freezeTorn(cut sim.Time) {
+	t := d.torn
+	d.torn.active = false
+	if !t.active || cut <= t.start {
+		return
+	}
+	n := int((cut - t.start) / t.st)
+	if total := len(t.buf) / SectorSize; n > total {
+		n = total
+	}
+	if n > 0 {
+		d.writeImage(t.sector, t.buf[:n*SectorSize])
+	}
 }
 
 // Geom returns the drive geometry.
@@ -230,28 +302,45 @@ func (d *Disk) serve(p *sim.Proc) {
 			Depth:  int64(len(d.q)),
 			Write:  r.Write,
 		})
-		seek0, rot0 := d.Stats.SeekTime, d.Stats.RotWait
-		xfer0 := d.Stats.XferTime + d.Stats.BusTime
-		d.service(p, r)
-		svc := p.Now() - start
-		d.Stats.BusyTime += svc
-		// Per-request phase latencies, from the Stats deltas the service
-		// routine accumulated. Seek and rotate observe only when the
-		// request paid them; transfer and total service always happen.
-		if dt := d.Stats.SeekTime - seek0; dt > 0 {
-			d.seekH.Observe(int64(dt))
-		}
-		if dt := d.Stats.RotWait - rot0; dt > 0 {
-			d.rotH.Observe(int64(dt))
-		}
-		d.xferH.Observe(int64(d.Stats.XferTime + d.Stats.BusTime - xfer0))
-		d.svcH.Observe(int64(svc))
-		if r.Write {
-			d.Stats.Writes++
-			d.Stats.SectorsWritten += int64(r.Count)
+		// The injector's subscriber ran inside the Emit above, so a
+		// media fault anchored on that io_start is armed by now.
+		failed := d.inj != nil && d.inj.TakeMedia()
+		if failed {
+			d.bus.Emit(telemetry.Event{
+				T:      start,
+				Kind:   telemetry.EvFaultInject,
+				Sector: r.Sector,
+				Bytes:  int64(r.Count) * SectorSize,
+				Write:  r.Write,
+			})
+			d.failService(p)
+			r.Err = ErrMedia
+			d.Stats.MediaErrors++
+			d.Stats.BusyTime += p.Now() - start
 		} else {
-			d.Stats.Reads++
-			d.Stats.SectorsRead += int64(r.Count)
+			seek0, rot0 := d.Stats.SeekTime, d.Stats.RotWait
+			xfer0 := d.Stats.XferTime + d.Stats.BusTime
+			d.service(p, r)
+			svc := p.Now() - start
+			d.Stats.BusyTime += svc
+			// Per-request phase latencies, from the Stats deltas the service
+			// routine accumulated. Seek and rotate observe only when the
+			// request paid them; transfer and total service always happen.
+			if dt := d.Stats.SeekTime - seek0; dt > 0 {
+				d.seekH.Observe(int64(dt))
+			}
+			if dt := d.Stats.RotWait - rot0; dt > 0 {
+				d.rotH.Observe(int64(dt))
+			}
+			d.xferH.Observe(int64(d.Stats.XferTime + d.Stats.BusTime - xfer0))
+			d.svcH.Observe(int64(svc))
+			if r.Write {
+				d.Stats.Writes++
+				d.Stats.SectorsWritten += int64(r.Count)
+			} else {
+				d.Stats.Reads++
+				d.Stats.SectorsRead += int64(r.Count)
+			}
 		}
 		if r.Done != nil {
 			// Deliver the completion as a zero-delay event so it runs
@@ -283,6 +372,18 @@ func (d *Disk) service(p *sim.Proc, r *Request) {
 		sector += int64(n)
 		remain -= n
 	}
+}
+
+// failService is the service path for a transfer the fault plan
+// failed: the drive pays command overhead and its internal error
+// recovery time (no arm movement is modeled — the failure is reported
+// from wherever the head is), touching neither media nor buffers.
+func (d *Disk) failService(p *sim.Proc) {
+	cmd := d.P.CmdOverhead
+	if d.P.CmdJitter > 0 {
+		cmd += Time(d.Sim.Rand.Int63n(int64(d.P.CmdJitter)))
+	}
+	p.Sleep(cmd + d.P.ErrorLatency)
 }
 
 // physPos maps a logical in-track sector to its physical rotational
@@ -351,9 +452,15 @@ func (d *Disk) segment(p *sim.Proc, sector int64, n int, buf []byte, write bool)
 		d.Stats.RotWait += wait
 	}
 
-	// Media transfer.
+	// Media transfer. For writes, arm the torn-transfer record across
+	// the sleep: a power cut lands mid-transfer, and the freeze hook
+	// applies exactly the sectors written by then.
 	xfer := Time(n) * st
+	if write {
+		d.torn = tornXfer{active: true, sector: sector, buf: buf, start: p.Now(), st: st}
+	}
 	p.Sleep(xfer)
+	d.torn.active = false
 	d.Stats.XferTime += xfer
 
 	if write {
@@ -403,6 +510,35 @@ func (d *Disk) ReadImage(sector int64, buf []byte) { d.readImage(sector, buf) }
 
 // WriteImage stores platter bytes without consuming simulated time.
 func (d *Disk) WriteImage(sector int64, data []byte) { d.writeImage(sector, data) }
+
+// Image is a point-in-time deep copy of a drive's platter contents in
+// the sparse chunk representation. Snapshot one from a crashed machine
+// and hand it to a fresh machine (ufsclust.WithCrashRecovery) to model
+// the reboot after a power cut. For the serialized on-host file format
+// see DumpImage/LoadImage in image.go.
+type Image struct {
+	chunks map[int64][]byte
+}
+
+// Snapshot deep-copies the platter contents.
+func (d *Disk) Snapshot() *Image {
+	img := &Image{chunks: make(map[int64][]byte, len(d.image))}
+	for k, c := range d.image { // simlint:ignore maporder -- deep copy into a map, order-insensitive
+		img.chunks[k] = append([]byte(nil), c...)
+	}
+	return img
+}
+
+// Restore replaces the platter contents with a deep copy of img. Call
+// it before mounting; restoring under a live file system is not
+// supported.
+func (d *Disk) Restore(img *Image) {
+	d.image = make(map[int64][]byte, len(img.chunks))
+	for k, c := range img.chunks { // simlint:ignore maporder -- deep copy into a map, order-insensitive
+		d.image[k] = append([]byte(nil), c...)
+	}
+	d.tbValid = false
+}
 
 func (d *Disk) readImage(sector int64, buf []byte) {
 	if len(buf)%SectorSize != 0 {

@@ -19,6 +19,34 @@ import (
 // DefaultMaxPhys is the classic 56 KB transfer limit.
 const DefaultMaxPhys = 56 * 1024
 
+// Retry defaults: a failed transfer is retried up to DefaultMaxRetries
+// times, the first after DefaultRetryBackoff and each subsequent one
+// after double the previous delay.
+const (
+	DefaultMaxRetries   = 3
+	DefaultRetryBackoff = 5 * sim.Millisecond
+)
+
+// DevError is the typed error delivered through Buf.Err when the
+// driver exhausts its retries for a transfer. It wraps the drive-level
+// cause, so errors.Is(err, disk.ErrMedia) matches.
+type DevError struct {
+	Write    bool
+	Sector   int64
+	Attempts int // total attempts, including the first
+	Err      error
+}
+
+func (e *DevError) Error() string {
+	dir := "read"
+	if e.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("driver: %s at sector %d failed after %d attempts: %v", dir, e.Sector, e.Attempts, e.Err)
+}
+
+func (e *DevError) Unwrap() error { return e.Err }
+
 // Buf is a block I/O request, after the BSD buf struct. Blkno counts
 // 512-byte sectors on the underlying device.
 type Buf struct {
@@ -30,9 +58,14 @@ type Buf struct {
 	Order bool
 	// Iodone is called in interrupt (scheduler) context at completion.
 	Iodone func(*Buf)
+	// Err is set before Iodone runs when the transfer failed for good
+	// (a *DevError wrapping the drive's error). A coalesced cluster's
+	// error is copied to every child.
+	Err error
 
 	queuedAt sim.Time
 	parent   *clusterBuf
+	attempts int // failed attempts so far
 }
 
 // Sectors returns the transfer length in sectors.
@@ -54,6 +87,8 @@ type Stats struct {
 	MaxQueue    int   // high-water queue depth
 	QueueWait   sim.Time
 	SortSkipped int64 // inserts pinned behind a B_ORDER barrier
+	Retries     int64 // failed transfers rescheduled
+	Giveups     int64 // transfers abandoned after exhausting retries
 }
 
 // Config selects driver behaviour.
@@ -68,6 +103,14 @@ type Config struct {
 	// because it only helps writes and still traverses the file system
 	// per block.
 	Coalesce bool
+	// MaxRetries is how many times a failed transfer is reissued before
+	// the driver gives up and delivers a *DevError. 0 means
+	// DefaultMaxRetries; negative disables retries entirely.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles on
+	// each subsequent attempt (classic exponential backoff). 0 means
+	// DefaultRetryBackoff.
+	RetryBackoff sim.Time
 	// Costs are charged per operation when a CPU model is attached.
 	StrategyInstr  int64 // per Strategy call (queue insert + sort)
 	InterruptInstr int64 // per completion interrupt
@@ -79,6 +122,8 @@ func DefaultConfig() Config {
 	return Config{
 		MaxPhys:        DefaultMaxPhys,
 		Sort:           true,
+		MaxRetries:     DefaultMaxRetries,
+		RetryBackoff:   DefaultRetryBackoff,
 		StrategyInstr:  1500,
 		InterruptInstr: 2500,
 	}
@@ -113,6 +158,8 @@ func (dr *Driver) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("driver.issued", func() int64 { return dr.Stats.Issued })
 	r.Counter("driver.coalesced", func() int64 { return dr.Stats.Coalesced })
 	r.Counter("driver.sort_skipped", func() int64 { return dr.Stats.SortSkipped })
+	r.Counter("driver.retries", func() int64 { return dr.Stats.Retries })
+	r.Counter("driver.giveups", func() int64 { return dr.Stats.Giveups })
 	r.Counter("driver.queue_wait_ns", func() int64 { return int64(dr.Stats.QueueWait) })
 	r.Gauge("driver.max_queue", func() int64 { return int64(dr.Stats.MaxQueue) })
 	r.Gauge("driver.queue_len", func() int64 { return int64(len(dr.queue)) })
@@ -124,6 +171,12 @@ func (dr *Driver) AttachTelemetry(tel *telemetry.Telemetry) {
 func New(s *sim.Sim, d *disk.Disk, cpuModel *cpu.Model, cfg Config) *Driver {
 	if cfg.MaxPhys == 0 {
 		cfg.MaxPhys = DefaultMaxPhys
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
 	}
 	if cfg.MaxPhys%disk.SectorSize != 0 {
 		panic("driver: MaxPhys not sector aligned") // simlint:invariant -- harness configuration assertion at construction
@@ -293,22 +346,58 @@ func (dr *Driver) start() {
 	dr.Stats.QueueWait += dr.Sim.Now() - b.queuedAt
 	dr.depthH.Observe(int64(len(dr.queue)))
 	dr.xferH.Observe(int64(b.Sectors()))
-	dr.Disk.Submit(&disk.Request{
+	req := &disk.Request{
 		Sector: b.Blkno,
 		Count:  b.Sectors(),
 		Write:  b.Write,
 		Data:   b.Data,
-		Done:   func() { dr.complete(b) },
-	})
+	}
+	req.Done = func() { dr.complete(b, req.Err) }
+	dr.Disk.Submit(req)
 }
 
-// complete runs in scheduler context: charge the interrupt, scatter
-// coalesced reads, deliver iodone callbacks, and start the next request.
-func (dr *Driver) complete(b *Buf) {
+// complete runs in scheduler context: charge the interrupt, retry or
+// give up on a failed transfer, scatter coalesced reads, deliver
+// iodone callbacks, and start the next request.
+func (dr *Driver) complete(b *Buf, devErr error) {
 	if dr.CPU != nil {
 		dr.CPU.ChargeInterrupt(cpu.Interrupt, dr.Cfg.InterruptInstr)
 	}
 	dr.active = false
+	if devErr != nil && b.attempts < dr.Cfg.MaxRetries {
+		// Transient-error path: back off (doubling per attempt), then
+		// reissue at the head of the queue. The drive is released in
+		// the meantime, so queued requests are not starved by the
+		// backoff delay.
+		b.attempts++
+		dr.Stats.Retries++
+		delay := dr.Cfg.RetryBackoff << (b.attempts - 1)
+		dr.bus.Emit(telemetry.Event{
+			T:      dr.Sim.Now(),
+			Kind:   telemetry.EvIORetry,
+			Sector: b.Blkno,
+			Bytes:  int64(len(b.Data)),
+			Depth:  int64(len(dr.queue)),
+			Dur:    delay,
+			Write:  b.Write,
+		})
+		dr.Sim.After(delay, func() { dr.requeue(b) })
+		dr.start()
+		return
+	}
+	if devErr != nil {
+		dr.Stats.Giveups++
+		b.Err = &DevError{Write: b.Write, Sector: b.Blkno, Attempts: b.attempts + 1, Err: devErr}
+		dr.bus.Emit(telemetry.Event{
+			T:      dr.Sim.Now(),
+			Kind:   telemetry.EvIOGiveup,
+			Sector: b.Blkno,
+			Bytes:  int64(len(b.Data)),
+			Depth:  int64(len(dr.queue)),
+			Dur:    dr.Sim.Now() - b.queuedAt,
+			Write:  b.Write,
+		})
+	}
 	dr.bus.Emit(telemetry.Event{
 		T:      dr.Sim.Now(),
 		Kind:   telemetry.EvIODone,
@@ -321,7 +410,8 @@ func (dr *Driver) complete(b *Buf) {
 	if b.parent != nil {
 		off := 0
 		for _, c := range b.parent.children {
-			if !b.Write {
+			c.Err = b.Err
+			if !b.Write && b.Err == nil {
 				copy(c.Data, b.Data[off:off+len(c.Data)])
 			}
 			off += len(c.Data)
@@ -332,6 +422,17 @@ func (dr *Driver) complete(b *Buf) {
 	} else if b.Iodone != nil {
 		b.Iodone(b)
 	}
+	dr.start()
+}
+
+// requeue reinserts a transfer at the head of the queue after its
+// retry backoff: it was already the elevator's chosen request, so it
+// keeps its turn (and its original queuedAt, making the final io_done
+// latency cover all attempts).
+func (dr *Driver) requeue(b *Buf) {
+	dr.queue = append(dr.queue, nil)
+	copy(dr.queue[1:], dr.queue)
+	dr.queue[0] = b
 	dr.start()
 }
 

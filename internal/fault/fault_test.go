@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // "" = valid; else substring of the error
+	}{
+		{"empty", Plan{}, ""},
+		{"transient", Plan{Rules: []Rule{FailNth(3, Writes, 2)}}, ""},
+		{"hard", Plan{Rules: []Rule{FailNthHard(1, Any)}}, ""},
+		{"cut-time", Plan{Rules: []Rule{CutAtTime(5 * sim.Millisecond)}}, ""},
+		{"cut-event", Plan{Rules: []Rule{CutAtEvent(telemetry.EvClusterPush, 2)}}, ""},
+		{"media-bad-anchor",
+			Plan{Rules: []Rule{{Match: Match{Event: telemetry.EvIODone}, Kind: MediaTransient}}},
+			"anchor on io_start"},
+		{"media-with-at",
+			Plan{Rules: []Rule{{Match: Match{Event: telemetry.EvIOStart}, Kind: MediaHard, At: 1}}},
+			"power-cut only"},
+		{"media-negative-fails",
+			Plan{Rules: []Rule{{Match: Match{Event: telemetry.EvIOStart}, Kind: MediaTransient, Fails: -1}}},
+			"negative Fails"},
+		{"cut-negative-time", Plan{Rules: []Rule{{Kind: PowerCut, At: -1}}}, "negative cut time"},
+		{"cut-with-fails", Plan{Rules: []Rule{{Kind: PowerCut, At: 1, Fails: 2}}}, "media only"},
+		{"unknown-kind", Plan{Rules: []Rule{{Match: Match{Event: telemetry.EvIOStart}}}}, "unknown kind"},
+		{"negative-nth",
+			Plan{Rules: []Rule{{Match: Match{Event: telemetry.EvIOStart, Nth: -2}, Kind: MediaHard}}},
+			"negative Nth"},
+		{"inverted-window",
+			Plan{Rules: []Rule{{Match: Match{Event: telemetry.EvIOStart, SectorLo: 9, SectorHi: 4}, Kind: MediaHard}}},
+			"window inverted"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// rig is an injector wired to a bare sim and telemetry, with a recorder
+// capturing everything emitted on the bus.
+type rig struct {
+	s      *sim.Sim
+	tel    *telemetry.Telemetry
+	inj    *Injector
+	events []telemetry.Event
+}
+
+func newRig(t *testing.T, plan Plan) *rig {
+	t.Helper()
+	r := &rig{s: sim.New(1), tel: telemetry.New()}
+	t.Cleanup(r.s.Close)
+	inj, err := NewInjector(r.s, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.inj = inj
+	r.tel.Bus.Subscribe(func(ev telemetry.Event) { r.events = append(r.events, ev) })
+	inj.AttachTelemetry(r.tel)
+	return r
+}
+
+func (r *rig) ioStart(sector int64, write bool) {
+	r.tel.Bus.Emit(telemetry.Event{T: r.s.Now(), Kind: telemetry.EvIOStart, Sector: sector, Write: write})
+}
+
+func (r *rig) kinds() []telemetry.EventKind {
+	var out []telemetry.EventKind
+	for _, ev := range r.events {
+		out = append(out, ev.Kind)
+	}
+	return out
+}
+
+func TestMediaTransientLatchesAndDrains(t *testing.T) {
+	// 2nd write fails twice (anchor + one retry), then recovers.
+	r := newRig(t, Plan{Rules: []Rule{FailNth(2, Writes, 2)}})
+
+	r.ioStart(100, false) // read: direction filter skips it
+	if r.inj.TakeMedia() {
+		t.Fatal("read transfer armed a Writes-only rule")
+	}
+	r.ioStart(100, true) // 1st write: not the anchor
+	if r.inj.TakeMedia() {
+		t.Fatal("1st write armed an Nth=2 rule")
+	}
+	r.ioStart(200, true) // 2nd write: anchor fires
+	if !r.inj.TakeMedia() {
+		t.Fatal("anchor transfer did not fail")
+	}
+	r.ioStart(300, true) // unrelated transfer while latched
+	if r.inj.TakeMedia() {
+		t.Fatal("latched rule failed an unrelated sector")
+	}
+	r.ioStart(200, true) // retry of the latched transfer: 2nd failure
+	if !r.inj.TakeMedia() {
+		t.Fatal("retry of latched transfer did not fail")
+	}
+	r.ioStart(200, true) // budget spent: the drive has "recovered"
+	if r.inj.TakeMedia() {
+		t.Fatal("transfer failed after the Fails budget was spent")
+	}
+	if got := r.inj.Stats.MediaInjected; got != 2 {
+		t.Fatalf("MediaInjected = %d, want 2", got)
+	}
+	if r.inj.Crashed() {
+		t.Fatal("media faults must not crash the machine")
+	}
+}
+
+func TestMediaHardNeverHeals(t *testing.T) {
+	r := newRig(t, Plan{Rules: []Rule{FailNthHard(1, Any)}})
+	for i := 0; i < 5; i++ {
+		r.ioStart(42, true)
+		if !r.inj.TakeMedia() {
+			t.Fatalf("attempt %d: hard fault healed", i+1)
+		}
+	}
+	if got := r.inj.Stats.MediaInjected; got != 5 {
+		t.Fatalf("MediaInjected = %d, want 5", got)
+	}
+}
+
+func TestSectorWindowFilter(t *testing.T) {
+	r := newRig(t, Plan{Rules: []Rule{{
+		Match: Match{Event: telemetry.EvIOStart, SectorLo: 1000, SectorHi: 1999},
+		Kind:  MediaHard,
+	}}})
+	r.ioStart(999, true)
+	if r.inj.TakeMedia() {
+		t.Fatal("sector below the window matched")
+	}
+	r.ioStart(2000, true)
+	if r.inj.TakeMedia() {
+		t.Fatal("sector above the window matched")
+	}
+	r.ioStart(1500, true)
+	if !r.inj.TakeMedia() {
+		t.Fatal("sector inside the window did not match")
+	}
+}
+
+func TestTakeMediaWithoutPending(t *testing.T) {
+	r := newRig(t, Plan{})
+	r.ioStart(1, true)
+	if r.inj.TakeMedia() {
+		t.Fatal("empty plan injected a fault")
+	}
+	if r.inj.Stats.MediaInjected != 0 {
+		t.Fatalf("MediaInjected = %d, want 0", r.inj.Stats.MediaInjected)
+	}
+}
+
+func TestCutAtEvent(t *testing.T) {
+	r := newRig(t, Plan{Rules: []Rule{CutAtEvent(telemetry.EvIOStart, 2)}})
+	var hookCut sim.Time
+	r.inj.OnCrash(func(cut sim.Time) { hookCut = cut })
+
+	r.ioStart(1, true)
+	if r.inj.Crashed() {
+		t.Fatal("crashed on the 1st event of an Nth=2 rule")
+	}
+	r.ioStart(2, true)
+	if !r.inj.Crashed() {
+		t.Fatal("no crash on the anchor event")
+	}
+	if hookCut != r.inj.CrashTime() {
+		t.Fatalf("hook saw cut %v, CrashTime %v", hookCut, r.inj.CrashTime())
+	}
+	if r.inj.Stats.Cuts != 1 {
+		t.Fatalf("Cuts = %d, want 1", r.inj.Stats.Cuts)
+	}
+	// The cut joined the event stream, after its trigger.
+	ks := r.kinds()
+	if ks[len(ks)-1] != telemetry.EvCrashCut {
+		t.Fatalf("last event = %v, want crash_cut (stream %v)", ks[len(ks)-1], ks)
+	}
+	// Post-crash the injector is inert: no more faults, no second cut.
+	r.ioStart(3, true)
+	if r.inj.TakeMedia() {
+		t.Fatal("fault injected after the crash")
+	}
+	if r.inj.Stats.Cuts != 1 {
+		t.Fatalf("Cuts = %d after extra events, want 1", r.inj.Stats.Cuts)
+	}
+}
+
+func TestCutAtTimeStopsTheClock(t *testing.T) {
+	const cut = 3 * sim.Millisecond
+	r := newRig(t, Plan{Rules: []Rule{CutAtTime(cut)}})
+	reached := false
+	r.s.Spawn("w", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Millisecond) // before the cut
+		reached = true
+		p.Sleep(2 * sim.Millisecond) // straddles the cut; never returns
+		t.Error("process survived the power cut")
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Fatal("work before the cut did not run")
+	}
+	if !r.inj.Crashed() || r.inj.CrashTime() != cut {
+		t.Fatalf("Crashed=%v CrashTime=%v, want cut at %v", r.inj.Crashed(), r.inj.CrashTime(), cut)
+	}
+	if r.s.Now() != cut {
+		t.Fatalf("clock stopped at %v, want %v", r.s.Now(), cut)
+	}
+}
+
+func TestAfterFilter(t *testing.T) {
+	r := newRig(t, Plan{Rules: []Rule{{
+		Match: Match{Event: telemetry.EvIOStart, After: 5 * sim.Millisecond},
+		Kind:  MediaHard,
+	}}})
+	r.tel.Bus.Emit(telemetry.Event{T: 1 * sim.Millisecond, Kind: telemetry.EvIOStart, Write: true})
+	if r.inj.TakeMedia() {
+		t.Fatal("event before After matched")
+	}
+	r.tel.Bus.Emit(telemetry.Event{T: 6 * sim.Millisecond, Kind: telemetry.EvIOStart, Write: true})
+	if !r.inj.TakeMedia() {
+		t.Fatal("event after After did not match")
+	}
+}

@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
+)
+
+// Stats counts injector activity. Covered by the root registry as
+// fault.* counters and zeroed by Machine.ResetStats.
+type Stats struct {
+	MediaInjected int64 // failed transfer attempts delivered to the drive
+	Cuts          int64 // power cuts delivered (0 or 1 per machine)
+}
+
+// ruleState is one rule's live matching state. A media rule, once its
+// anchor fires, latches onto the identity of the transfer it failed
+// (sector, direction) so that the driver's retries of that same
+// transfer keep failing until the rule's budget is spent — without the
+// latch, the retry's own io_start would not be "the nth" anymore and a
+// hard error would heal itself.
+type ruleState struct {
+	r       Rule
+	seen    int64 // matching events observed so far
+	latched bool  // media rule armed on a transfer identity
+	sector  int64
+	write   bool
+	fails   int  // failed attempts delivered so far
+	done    bool // rule exhausted
+}
+
+func (rs *ruleState) match(ev telemetry.Event) bool {
+	m := rs.r.Match
+	if ev.Kind != m.Event {
+		return false
+	}
+	if m.After > 0 && ev.T < m.After {
+		return false
+	}
+	switch m.RW {
+	case Reads:
+		if ev.Write {
+			return false
+		}
+	case Writes:
+		if !ev.Write {
+			return false
+		}
+	}
+	if m.SectorHi != 0 && (ev.Sector < m.SectorLo || ev.Sector > m.SectorHi) {
+		return false
+	}
+	rs.seen++
+	nth := m.Nth
+	if nth < 1 {
+		nth = 1
+	}
+	return rs.seen == nth
+}
+
+// Injector executes a Plan against one machine. It observes the
+// telemetry bus (subscribers run synchronously at the emission site,
+// so by the time the drive's io_start Emit returns, any media fault it
+// triggered is already armed for TakeMedia), and it owns the crash
+// state: once a power cut fires, the sim is stopped and Crashed
+// reports true.
+type Injector struct {
+	sim     *sim.Sim
+	rules   []*ruleState
+	pending *ruleState // media rule armed for the transfer now starting
+	crashed bool
+	cutAt   sim.Time
+	onCrash []func(cut sim.Time)
+	bus     *telemetry.Bus
+
+	// Stats is exported for the root ResetStats shim.
+	Stats Stats
+}
+
+// NewInjector validates the plan and builds its injector. Time-based
+// power cuts are scheduled on s immediately; event-based rules arm
+// once AttachTelemetry subscribes the injector to the bus.
+func NewInjector(s *sim.Sim, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{sim: s}
+	for _, r := range plan.Rules {
+		rs := &ruleState{r: r}
+		in.rules = append(in.rules, rs)
+		if r.Kind == PowerCut && r.At > 0 {
+			rs.done = true // consumed by the timer below
+			at := r.At
+			s.At(at, func() {
+				in.crash(at)
+			})
+		}
+	}
+	return in, nil
+}
+
+// AttachTelemetry registers the fault.* counters and subscribes the
+// injector to the event stream. Subscribe it after the JSONL exporter
+// so a crash_cut line appears after the event that triggered it.
+func (in *Injector) AttachTelemetry(tel *telemetry.Telemetry) {
+	in.bus = tel.Bus
+	tel.Reg.Counter("fault.media_injected", func() int64 { return in.Stats.MediaInjected })
+	tel.Reg.Counter("fault.cuts", func() int64 { return in.Stats.Cuts })
+	tel.Bus.Subscribe(in.observe)
+}
+
+// OnCrash registers a hook that runs when a power cut fires, before
+// the sim is stopped — the disk uses it to freeze torn transfers.
+func (in *Injector) OnCrash(fn func(cut sim.Time)) {
+	in.onCrash = append(in.onCrash, fn)
+}
+
+// observe is the bus subscriber: it advances every live rule's match
+// state and arms or fires faults.
+func (in *Injector) observe(ev telemetry.Event) {
+	if in.crashed {
+		return
+	}
+	for _, rs := range in.rules {
+		if rs.done {
+			continue
+		}
+		switch rs.r.Kind {
+		case MediaTransient, MediaHard:
+			if rs.latched {
+				// A retry of the latched transfer is starting: keep
+				// failing it until the budget runs out.
+				if ev.Kind == telemetry.EvIOStart && ev.Sector == rs.sector && ev.Write == rs.write {
+					in.pending = rs
+				}
+				continue
+			}
+			if rs.match(ev) {
+				rs.latched, rs.sector, rs.write = true, ev.Sector, ev.Write
+				in.pending = rs
+			}
+		case PowerCut:
+			if rs.match(ev) {
+				rs.done = true
+				in.crash(ev.T)
+				return
+			}
+		}
+	}
+}
+
+// TakeMedia is called by the drive immediately after it emits io_start
+// for a transfer: it reports whether that transfer must fail, and
+// consumes one failure from the armed rule's budget.
+func (in *Injector) TakeMedia() bool {
+	rs := in.pending
+	if rs == nil {
+		return false
+	}
+	in.pending = nil
+	rs.fails++
+	in.Stats.MediaInjected++
+	if rs.r.Kind == MediaTransient {
+		budget := rs.r.Fails
+		if budget < 1 {
+			budget = 1
+		}
+		if rs.fails >= budget {
+			rs.done = true
+		}
+	}
+	return true
+}
+
+// crash executes a power cut: freeze hooks run first (they see the cut
+// time and the pre-stop disk state), then the clock stops and the cut
+// joins the event stream.
+func (in *Injector) crash(t sim.Time) {
+	if in.crashed {
+		return
+	}
+	in.crashed = true
+	in.cutAt = t
+	in.Stats.Cuts++
+	for _, fn := range in.onCrash {
+		fn(t)
+	}
+	in.sim.Stop()
+	in.bus.Emit(telemetry.Event{T: t, Kind: telemetry.EvCrashCut})
+}
+
+// Crashed reports whether a power cut has fired.
+func (in *Injector) Crashed() bool { return in.crashed }
+
+// CrashTime returns the simulated time of the power cut (0 if none).
+func (in *Injector) CrashTime() sim.Time { return in.cutAt }

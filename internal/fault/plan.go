@@ -1,0 +1,170 @@
+// Package fault is the deterministic fault-injection layer: seed-free,
+// plan-driven media errors and power-cut crashes keyed off the
+// telemetry event stream. A Plan is a list of Rules; each rule anchors
+// on an event match ("the 3rd io_start on this sector range", "the
+// first cluster_push after time T") or, for power cuts, an absolute
+// simulated time. The Injector subscribes to the machine's event bus,
+// counts matching events, and arms the corresponding fault exactly
+// when its anchor fires — same plan, same seed, same faults, every
+// run.
+//
+// Media errors are consumed by internal/disk (the drive fails the
+// transfer that the matched io_start began); power cuts stop the
+// simulation clock dead and freeze the disk image with only the
+// sectors physically written by then (a transfer in flight is torn at
+// sector granularity — see disk.freezeTorn).
+package fault
+
+import (
+	"fmt"
+
+	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
+)
+
+// RW filters an I/O event match by transfer direction.
+type RW uint8
+
+// Direction filters.
+const (
+	Any    RW = iota // match reads and writes
+	Reads            // match only reads
+	Writes           // match only writes
+)
+
+// Kind selects what the armed fault does.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// MediaTransient fails the matched transfer (and its retries) for
+	// Rule.Fails attempts, then lets it succeed — the drive "recovers".
+	MediaTransient Kind = iota + 1
+	// MediaHard fails the matched transfer and every retry of it,
+	// forever: the driver's give-up path is the only way out.
+	MediaHard
+	// PowerCut stops the machine at the anchor (an event match, or the
+	// absolute time Rule.At) and freezes the disk image as of that
+	// instant.
+	PowerCut
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MediaTransient:
+		return "media-transient"
+	case MediaHard:
+		return "media-hard"
+	case PowerCut:
+		return "power-cut"
+	}
+	return "unknown"
+}
+
+// Match is a rule's anchor: a predicate over the telemetry stream plus
+// an occurrence count. The rule fires on the Nth event (1-based) that
+// passes every filter.
+type Match struct {
+	Event EventKind // event kind to count (media rules: telemetry.EvIOStart)
+	Nth   int64     // 1-based occurrence; 0 means 1
+	RW    RW        // direction filter (I/O events carry a direction)
+
+	// SectorLo/SectorHi restrict the match to events whose Sector lies
+	// in [SectorLo, SectorHi]. SectorHi == 0 disables the filter. Use
+	// disk geometry / ufs layout helpers to aim at a cylinder group.
+	SectorLo, SectorHi int64
+
+	// After ignores events before this simulated time.
+	After sim.Time
+}
+
+// EventKind aliases the telemetry kind so plan literals read naturally
+// without importing telemetry at every call site.
+type EventKind = telemetry.EventKind
+
+// Rule is one planned fault.
+type Rule struct {
+	Match Match
+	Kind  Kind
+
+	// Fails is, for MediaTransient, how many attempts (the anchored
+	// transfer plus its retries) fail before the drive recovers.
+	// 0 means 1.
+	Fails int
+
+	// At, for PowerCut only, cuts power at an absolute simulated time
+	// instead of an event match. When At > 0 the Match is ignored.
+	At sim.Time
+}
+
+// Plan is a complete fault schedule. The zero value injects nothing.
+type Plan struct {
+	Rules []Rule
+}
+
+// Validate rejects rules the injector cannot honor deterministically.
+func (pl Plan) Validate() error {
+	for i, r := range pl.Rules {
+		switch r.Kind {
+		case MediaTransient, MediaHard:
+			// The media decision is taken by the drive as it begins
+			// service, so the anchor must be the service-start event:
+			// any other anchor would leave the fault pending with no
+			// transfer to fail.
+			if r.Match.Event != telemetry.EvIOStart {
+				return fmt.Errorf("fault: rule %d: media faults anchor on io_start, not %v", i, r.Match.Event)
+			}
+			if r.At != 0 {
+				return fmt.Errorf("fault: rule %d: At is power-cut only", i)
+			}
+			if r.Fails < 0 {
+				return fmt.Errorf("fault: rule %d: negative Fails", i)
+			}
+		case PowerCut:
+			if r.At < 0 {
+				return fmt.Errorf("fault: rule %d: negative cut time", i)
+			}
+			if r.Fails != 0 {
+				return fmt.Errorf("fault: rule %d: Fails is media only", i)
+			}
+		default:
+			return fmt.Errorf("fault: rule %d: unknown kind %d", i, r.Kind)
+		}
+		if r.Match.Nth < 0 {
+			return fmt.Errorf("fault: rule %d: negative Nth", i)
+		}
+		if r.Match.SectorHi != 0 && r.Match.SectorHi < r.Match.SectorLo {
+			return fmt.Errorf("fault: rule %d: sector window inverted", i)
+		}
+	}
+	return nil
+}
+
+// FailNth fails the nth transfer in direction rw for fails attempts
+// (transient: the transfer succeeds once the budget is spent).
+func FailNth(nth int64, rw RW, fails int) Rule {
+	return Rule{
+		Match: Match{Event: telemetry.EvIOStart, Nth: nth, RW: rw},
+		Kind:  MediaTransient,
+		Fails: fails,
+	}
+}
+
+// FailNthHard fails the nth transfer in direction rw and every retry
+// of it, permanently.
+func FailNthHard(nth int64, rw RW) Rule {
+	return Rule{
+		Match: Match{Event: telemetry.EvIOStart, Nth: nth, RW: rw},
+		Kind:  MediaHard,
+	}
+}
+
+// CutAtTime cuts power at absolute simulated time t.
+func CutAtTime(t sim.Time) Rule {
+	return Rule{Kind: PowerCut, At: t}
+}
+
+// CutAtEvent cuts power at the nth occurrence of ev.
+func CutAtEvent(ev EventKind, nth int64) Rule {
+	return Rule{Match: Match{Event: ev, Nth: nth}, Kind: PowerCut}
+}

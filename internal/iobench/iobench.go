@@ -135,7 +135,9 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 					return
 				}
 			}
-			f.Purge(p)
+			if runErr = f.Purge(p); runErr != nil {
+				return
+			}
 		}
 		if prm.EventW != nil {
 			m.Tel.Bus.Subscribe(telemetry.NewJSONL(prm.EventW).Write)
@@ -157,7 +159,9 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 					return
 				}
 			}
-			f.Fsync(p)
+			if runErr = f.Fsync(p); runErr != nil {
+				return
+			}
 			res.Bytes = size
 		case FRR:
 			nblocks := size / int64(prm.IOSize)
@@ -176,7 +180,9 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 					return
 				}
 			}
-			f.Fsync(p)
+			if runErr = f.Fsync(p); runErr != nil {
+				return
+			}
 			res.Bytes = int64(prm.RandomOps) * int64(prm.IOSize)
 		default:
 			runErr = fmt.Errorf("iobench: unknown kind %q", kind)

@@ -24,6 +24,13 @@ type EventKind uint8
 //	EvClusterPush the engine wrote out a cluster of dirty pages
 //	EvFreeBehind  a sequential read freed the page behind it
 //	EvPageoutScan the pageout daemon finished one sweep
+//	EvFaultInject the drive failed a transfer per the fault plan
+//	EvIORetry     the driver rescheduled a failed transfer
+//	EvIOGiveup    the driver exhausted its retries for a transfer
+//	EvCrashCut    the fault injector power-cut the machine
+//
+// New kinds are appended, never inserted: the wire names below are part
+// of the JSONL stream format that committed golden fixtures replay.
 const (
 	EvIOQueue EventKind = iota
 	EvIOStart
@@ -34,12 +41,17 @@ const (
 	EvClusterPush
 	EvFreeBehind
 	EvPageoutScan
+	EvFaultInject
+	EvIORetry
+	EvIOGiveup
+	EvCrashCut
 	numEventKinds
 )
 
 var kindNames = [numEventKinds]string{
 	"io_queue", "io_start", "io_done", "sync_read", "read_ahead",
 	"write_lie", "cluster_push", "free_behind", "pageout_scan",
+	"fault_inject", "io_retry", "io_giveup", "crash_cut",
 }
 
 // String returns the kind's snake_case wire name.

@@ -301,7 +301,9 @@ func (fs *Fs) ExtendFrags(p *sim.Proc, ip *Inode, fsbn int32, oldFrags, newFrags
 	}
 	cg.Nffree -= need
 	fs.SB.CsNffree -= need
-	fs.storeCG(p, cg)
+	if err := fs.storeCG(p, cg); err != nil {
+		return false, err
+	}
 	if ip != nil {
 		ip.D.Blocks += need
 		ip.MarkDirty()
@@ -347,8 +349,7 @@ func (fs *Fs) FreeFrags(p *sim.Proc, fsbn int32, nfrags int32) error {
 			fs.csum[cgx]++
 		}
 	}
-	fs.storeCG(p, cg)
-	return nil
+	return fs.storeCG(p, cg)
 }
 
 // IAlloc allocates an inode, preferring the group of the parent
@@ -413,6 +414,5 @@ func (fs *Fs) IFree(p *sim.Proc, ino int32, wasDir bool) error {
 		cg.Ndir--
 		fs.SB.CsNdir--
 	}
-	fs.storeCG(p, cg)
-	return nil
+	return fs.storeCG(p, cg)
 }

@@ -39,8 +39,23 @@ type Bcache struct {
 	nbuf int
 	seq  int64
 
+	// err is the sticky first I/O error: every failed metadata
+	// transfer records here, including ones with no caller to return
+	// to (evictions, ordered-write completions, delayed writes).
+	err error
+
 	// Stats
 	Hits, Misses, Evictions, Writes int64
+}
+
+// Err returns the first metadata I/O error seen by the cache, if any.
+func (bc *Bcache) Err() error { return bc.err }
+
+// recordErr keeps the first error.
+func (bc *Bcache) recordErr(err error) {
+	if bc.err == nil && err != nil {
+		bc.err = err
+	}
 }
 
 // NewBcache builds a cache of nbuf block buffers (default 64 = 512 KB).
@@ -120,20 +135,24 @@ func (b *MBuf) waitUnlock(p *sim.Proc) {
 
 // Bread returns the buffer for the block containing fsbn, reading it
 // from disk if necessary. The buffer is returned locked; release with
-// Brelse, Bdwrite, or Bwrite.
-func (bc *Bcache) Bread(p *sim.Proc, fsbn int32) *MBuf {
+// Brelse, Bdwrite, or Bwrite. On a media error the buffer is released
+// invalid (a later Bread retries the read) and the error is returned
+// and recorded in the cache's sticky error.
+func (bc *Bcache) Bread(p *sim.Proc, fsbn int32) (*MBuf, error) {
 	b := bc.getblk(p, fsbn)
 	if b.valid {
 		bc.Hits++
-		return b
+		return b, nil
 	}
 	bc.Misses++
 	done := false
+	var ioErr error
 	var q sim.WaitQ
 	bc.Drv.Strategy(p, &driver.Buf{
 		Blkno: bc.sb.FsbToDb(b.Fsbn),
 		Data:  b.Data,
-		Iodone: func(*driver.Buf) {
+		Iodone: func(db *driver.Buf) {
+			ioErr = db.Err
 			done = true
 			q.WakeAll()
 		},
@@ -141,8 +160,13 @@ func (bc *Bcache) Bread(p *sim.Proc, fsbn int32) *MBuf {
 	for !done {
 		p.Block(&q)
 	}
+	if ioErr != nil {
+		bc.recordErr(ioErr)
+		bc.Brelse(b)
+		return nil, ioErr
+	}
 	b.valid = true
-	return b
+	return b, nil
 }
 
 // Brelse unlocks a buffer without changing its dirty state.
@@ -163,10 +187,11 @@ func (bc *Bcache) Bdwrite(b *MBuf) {
 // Bwrite writes the buffer synchronously and releases it. UFS uses
 // synchronous metadata writes where ordering matters (the cost the
 // paper's B_ORDER proposal would remove).
-func (bc *Bcache) Bwrite(p *sim.Proc, b *MBuf) {
+func (bc *Bcache) Bwrite(p *sim.Proc, b *MBuf) error {
 	b.dirty = false
-	bc.iowrite(p, b)
+	err := bc.iowrite(p, b)
 	bc.Brelse(b)
+	return err
 }
 
 // BwriteOrdered starts an asynchronous write carrying the B_ORDER flag
@@ -189,7 +214,10 @@ func (bc *Bcache) BwriteOrdered(p *sim.Proc, b *MBuf) {
 		Data:  b.Data,
 		Write: true,
 		Order: true,
-		Iodone: func(*driver.Buf) {
+		Iodone: func(db *driver.Buf) {
+			// Asynchronous: there is no caller left to take the error,
+			// so a failed ordered write lands in the sticky error.
+			bc.recordErr(db.Err)
 			bc.Writes++
 			b.orderedPending = false
 		},
@@ -206,25 +234,28 @@ func (bc *Bcache) BwriteOrdered(p *sim.Proc, b *MBuf) {
 // ahead of intervening writes to other blocks — full correctness needs
 // the dependency tracking soft updates later developed. The paper only
 // sketches B_ORDER; we implement the sketch.
-func (fs *Fs) metaWrite(p *sim.Proc, b *MBuf) {
+func (fs *Fs) metaWrite(p *sim.Proc, b *MBuf) error {
 	if fs.OrderedWrites {
 		fs.OrderedMetaWrites++
 		fs.BC.BwriteOrdered(p, b)
-		return
+		return nil
 	}
 	fs.SyncMetaWrites++
-	fs.BC.Bwrite(p, b)
+	return fs.BC.Bwrite(p, b)
 }
 
-// iowrite performs the timed write of b.
-func (bc *Bcache) iowrite(p *sim.Proc, b *MBuf) {
+// iowrite performs the timed write of b. A give-up from the driver is
+// returned and recorded in the sticky error.
+func (bc *Bcache) iowrite(p *sim.Proc, b *MBuf) error {
 	done := false
+	var ioErr error
 	var q sim.WaitQ
 	bc.Drv.Strategy(p, &driver.Buf{
 		Blkno: bc.sb.FsbToDb(b.Fsbn),
 		Data:  b.Data,
 		Write: true,
-		Iodone: func(*driver.Buf) {
+		Iodone: func(db *driver.Buf) {
+			ioErr = db.Err
 			done = true
 			q.WakeAll()
 		},
@@ -233,22 +264,50 @@ func (bc *Bcache) iowrite(p *sim.Proc, b *MBuf) {
 		p.Block(&q)
 	}
 	bc.Writes++
+	bc.recordErr(ioErr)
+	return ioErr
 }
 
 // Flush writes every dirty buffer (sync/unmount path) in ascending
 // block order, so the sequence of simulated writes — and therefore
-// virtual time — replays identically run to run.
-func (bc *Bcache) Flush(p *sim.Proc) {
+// virtual time — replays identically run to run. It keeps going past
+// a failed write (best effort, like update(8)) and returns the first
+// error.
+func (bc *Bcache) Flush(p *sim.Proc) error {
+	var firstErr error
 	for _, fsbn := range detsort.Keys(bc.bufs) {
 		b := bc.bufs[fsbn]
 		if b.dirty && !b.busy {
 			b.busy = true
 			b.dirty = false
-			bc.iowrite(p, b)
+			if err := bc.iowrite(p, b); err != nil && firstErr == nil {
+				firstErr = err
+			}
 			b.busy = false
 			b.wanted.WakeAll()
 		}
 	}
+	return firstErr
+}
+
+// FlushBlock synchronously writes the cached block containing fsbn if
+// it is dirty. It is the fsync path for indirect blocks: data and
+// pointer blocks must be durable before the inode that references
+// them is written.
+func (bc *Bcache) FlushBlock(p *sim.Proc, fsbn int32) error {
+	b, ok := bc.bufs[bc.align(fsbn)]
+	if !ok || !b.dirty {
+		return nil
+	}
+	b.waitUnlock(p)
+	if !b.dirty {
+		return nil
+	}
+	b.busy = true
+	b.dirty = false
+	err := bc.iowrite(p, b)
+	bc.Brelse(b)
+	return err
 }
 
 // FlushImage spills every dirty buffer straight to the image with no

@@ -86,7 +86,10 @@ func (fs *Fs) bmapSlow(p *sim.Proc, ip *Inode, lbn int64) (int32, int, error) {
 		if ip.D.IB[0] == 0 {
 			return 0, 1, nil
 		}
-		b := fs.BC.Bread(p, ip.D.IB[0])
+		b, err := fs.BC.Bread(p, ip.D.IB[0])
+		if err != nil {
+			return 0, 0, err
+		}
 		defer fs.BC.Brelse(b)
 		addr := getIndir(b.Data, rel)
 		if addr == 0 {
@@ -109,13 +112,19 @@ func (fs *Fs) bmapSlow(p *sim.Proc, ip *Inode, lbn int64) (int32, int, error) {
 	if ip.D.IB[1] == 0 {
 		return 0, 1, nil
 	}
-	b1 := fs.BC.Bread(p, ip.D.IB[1])
+	b1, err := fs.BC.Bread(p, ip.D.IB[1])
+	if err != nil {
+		return 0, 0, err
+	}
 	l1 := getIndir(b1.Data, rel/nindir)
 	fs.BC.Brelse(b1)
 	if l1 == 0 {
 		return 0, 1, nil
 	}
-	b2 := fs.BC.Bread(p, l1)
+	b2, err := fs.BC.Bread(p, l1)
+	if err != nil {
+		return 0, 0, err
+	}
 	defer fs.BC.Brelse(b2)
 	idx := rel % nindir
 	addr := getIndir(b2.Data, idx)
@@ -251,7 +260,10 @@ func (fs *Fs) BmapAlloc(p *sim.Proc, ip *Inode, lbn int64, size int) (int32, err
 		return 0, err
 	}
 	// Level-1 entry points to a level-2 indirect block.
-	b1 := fs.BC.Bread(p, ib1)
+	b1, err := fs.BC.Bread(p, ib1)
+	if err != nil {
+		return 0, err
+	}
 	l2 := getIndir(b1.Data, rel/nindir)
 	if l2 == 0 {
 		l2, err = fs.allocMetaBlock(p, ip)
@@ -300,7 +312,10 @@ func (fs *Fs) allocMetaBlock(p *sim.Proc, ip *Inode) (int32, error) {
 // allocInIndir ensures entry idx of the indirect block at ib points to a
 // data block, allocating one if needed.
 func (fs *Fs) allocInIndir(p *sim.Proc, ip *Inode, ib int32, idx int64, lbn int64) (int32, error) {
-	b := fs.BC.Bread(p, ib)
+	b, err := fs.BC.Bread(p, ib)
+	if err != nil {
+		return 0, err
+	}
 	addr := getIndir(b.Data, idx)
 	if addr != 0 {
 		fs.BC.Brelse(b)

@@ -110,13 +110,18 @@ func (fs *Fs) dirBlocks(p *sim.Proc, dip *Inode, fn func(b *MBuf) (dirty, stop b
 		if fsbn == 0 {
 			return errors.New("ufs: hole in directory")
 		}
-		b := fs.BC.Bread(p, fsbn)
+		b, err := fs.BC.Bread(p, fsbn)
+		if err != nil {
+			return err
+		}
 		dirty, stop, err := fn(b)
 		if dirty {
 			// Directory modifications follow UFS's ordering discipline
 			// (synchronous, or B_ORDER with OrderedWrites) so the name
 			// space on disk is always consistent.
-			fs.metaWrite(p, b)
+			if werr := fs.metaWrite(p, b); werr != nil && err == nil {
+				err = werr
+			}
 		} else {
 			fs.BC.Brelse(b)
 		}
@@ -210,7 +215,9 @@ func (fs *Fs) DirEnter(p *sim.Proc, dip *Inode, name string, ino int32) error {
 	}
 	b.valid = true
 	putDirentLast(b.Data, ino, name, int(fs.SB.Bsize))
-	fs.metaWrite(p, b)
+	if err := fs.metaWrite(p, b); err != nil {
+		return err
+	}
 	dip.D.Size += int64(fs.SB.Bsize)
 	dip.MarkDirty()
 	return nil

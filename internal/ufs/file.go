@@ -115,7 +115,10 @@ func (fs *Fs) Create(p *sim.Proc, path string) (*Inode, error) {
 	// UFS writes the new inode synchronously so the name never points
 	// at garbage after a crash — one of the ordering costs B_ORDER
 	// would remove.
-	fs.IUpdate(p, ip, true)
+	if err := fs.IUpdate(p, ip, true); err != nil {
+		fs.Iput(p, ip)
+		return nil, err
+	}
 	return ip, nil
 }
 
@@ -161,7 +164,10 @@ func (fs *Fs) Mkdir(p *sim.Proc, path string) (*Inode, error) {
 	}
 	dip.D.Nlink++ // the child's ".."
 	dip.MarkDirty()
-	fs.IUpdate(p, ip, true)
+	if err := fs.IUpdate(p, ip, true); err != nil {
+		fs.Iput(p, ip)
+		return nil, err
+	}
 	return ip, nil
 }
 
@@ -212,7 +218,9 @@ func (fs *Fs) Remove(p *sim.Proc, path string) error {
 		ip.D = Dinode{}
 		// Synchronous inode clear before freeing the number: the
 		// ordering discipline the paper's rm benchmark pays for.
-		fs.IUpdate(p, ip, true)
+		if err := fs.IUpdate(p, ip, true); err != nil {
+			return err
+		}
 		if err := fs.IFree(p, ino, mode&ModeFmt == ModeDir); err != nil {
 			return err
 		}
@@ -260,7 +268,9 @@ func (fs *Fs) Truncate(p *sim.Proc, ip *Inode, size int64) error {
 			return err
 		}
 		ip.D.Blocks -= frags
-		fs.clearBlockPtr(p, ip, lbn)
+		if err := fs.clearBlockPtr(p, ip, lbn); err != nil {
+			return err
+		}
 	}
 	// Free indirect blocks that became empty.
 	nindir := fs.SB.NindirPerBlock()
@@ -272,7 +282,10 @@ func (fs *Fs) Truncate(p *sim.Proc, ip *Inode, size int64) error {
 		ip.D.IB[0] = 0
 	}
 	if newBlocks <= NDADDR+nindir && ip.D.IB[1] != 0 {
-		b := fs.BC.Bread(p, ip.D.IB[1])
+		b, err := fs.BC.Bread(p, ip.D.IB[1])
+		if err != nil {
+			return err
+		}
 		for i := int64(0); i < nindir; i++ {
 			if l2 := getIndir(b.Data, i); l2 != 0 {
 				if err := fs.FreeFrags(p, l2, fs.SB.Frag); err != nil {
@@ -311,36 +324,46 @@ func (fs *Fs) Truncate(p *sim.Proc, ip *Inode, size int64) error {
 }
 
 // clearBlockPtr zeroes the pointer to logical block lbn.
-func (fs *Fs) clearBlockPtr(p *sim.Proc, ip *Inode, lbn int64) {
+func (fs *Fs) clearBlockPtr(p *sim.Proc, ip *Inode, lbn int64) error {
 	if lbn < NDADDR {
 		ip.D.DB[lbn] = 0
 		ip.MarkDirty()
-		return
+		return nil
 	}
 	nindir := fs.SB.NindirPerBlock()
 	rel := lbn - NDADDR
 	if rel < nindir {
 		if ip.D.IB[0] == 0 {
-			return
+			return nil
 		}
-		b := fs.BC.Bread(p, ip.D.IB[0])
+		b, err := fs.BC.Bread(p, ip.D.IB[0])
+		if err != nil {
+			return err
+		}
 		putIndir(b.Data, rel, 0)
 		fs.BC.Bdwrite(b)
-		return
+		return nil
 	}
 	rel -= nindir
 	if ip.D.IB[1] == 0 {
-		return
+		return nil
 	}
-	b1 := fs.BC.Bread(p, ip.D.IB[1])
+	b1, err := fs.BC.Bread(p, ip.D.IB[1])
+	if err != nil {
+		return err
+	}
 	l2 := getIndir(b1.Data, rel/nindir)
 	fs.BC.Brelse(b1)
 	if l2 == 0 {
-		return
+		return nil
 	}
-	b2 := fs.BC.Bread(p, l2)
+	b2, err := fs.BC.Bread(p, l2)
+	if err != nil {
+		return err
+	}
 	putIndir(b2.Data, rel%nindir, 0)
 	fs.BC.Bdwrite(b2)
+	return nil
 }
 
 // MaxFastLink is the longest symlink target stored directly in the
@@ -393,9 +416,9 @@ func (fs *Fs) Symlink(p *sim.Proc, path, target string) error {
 		fs.Iput(p, ip)
 		return err
 	}
-	fs.IUpdate(p, ip, true)
+	err = fs.IUpdate(p, ip, true)
 	fs.Iput(p, ip)
-	return nil
+	return err
 }
 
 // Readlink returns a symlink's target, served entirely from the inode —

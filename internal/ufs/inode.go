@@ -146,7 +146,10 @@ func (fs *Fs) Iget(p *sim.Proc, ino int32) (*Inode, error) {
 		ip.refs++
 		return ip, nil
 	}
-	b := fs.BC.Bread(p, fs.SB.InoToFsba(ino))
+	b, err := fs.BC.Bread(p, fs.SB.InoToFsba(ino))
+	if err != nil {
+		return nil, err
+	}
 	off := fs.SB.InoBlockOff(ino)
 	di := UnmarshalDinode(b.Data[off : off+DinodeSize])
 	fs.BC.Brelse(b)
@@ -160,11 +163,14 @@ func (fs *Fs) Iget(p *sim.Proc, ino int32) (*Inode, error) {
 
 // Iput releases a reference, writing the inode back if dirty. The
 // in-core inode stays in the table (there is no cache pressure on it in
-// the simulation).
+// the simulation). A failed write-back has no caller to report to; it
+// lands in the cache's sticky error (see Bcache.Err).
 func (fs *Fs) Iput(p *sim.Proc, ip *Inode) {
 	ip.refs--
 	if ip.dirty {
-		fs.IUpdate(p, ip, false)
+		if err := fs.IUpdate(p, ip, false); err != nil {
+			fs.BC.recordErr(err)
+		}
 	}
 }
 
@@ -172,15 +178,19 @@ func (fs *Fs) Iput(p *sim.Proc, ip *Inode) {
 // to be ordered on disk before dependent operations — by waiting for a
 // synchronous write, or, with OrderedWrites, by an asynchronous
 // B_ORDER write the driver may not reorder.
-func (fs *Fs) IUpdate(p *sim.Proc, ip *Inode, sync bool) {
-	b := fs.BC.Bread(p, fs.SB.InoToFsba(ip.Ino))
+func (fs *Fs) IUpdate(p *sim.Proc, ip *Inode, sync bool) error {
+	b, err := fs.BC.Bread(p, fs.SB.InoToFsba(ip.Ino))
+	if err != nil {
+		return err
+	}
 	ip.D.MarshalInto(b.Data[fs.SB.InoBlockOff(ip.Ino) : fs.SB.InoBlockOff(ip.Ino)+DinodeSize])
 	if sync {
-		fs.metaWrite(p, b)
+		err = fs.metaWrite(p, b)
 	} else {
 		fs.BC.Bdwrite(b)
 	}
 	ip.dirty = false
+	return err
 }
 
 // loadCG returns the in-core cylinder group, reading it on first touch.
@@ -188,7 +198,10 @@ func (fs *Fs) loadCG(p *sim.Proc, cgx int32) (*CG, error) {
 	if cg, ok := fs.cgs[cgx]; ok {
 		return cg, nil
 	}
-	b := fs.BC.Bread(p, fs.SB.CgHeader(cgx))
+	b, err := fs.BC.Bread(p, fs.SB.CgHeader(cgx))
+	if err != nil {
+		return nil, err
+	}
 	cg, err := UnmarshalCG(fs.SB, b.Data)
 	fs.BC.Brelse(b)
 	if err != nil {
@@ -200,24 +213,35 @@ func (fs *Fs) loadCG(p *sim.Proc, cgx int32) (*CG, error) {
 
 // storeCG pushes the in-core group back through the buffer cache as a
 // delayed write.
-func (fs *Fs) storeCG(p *sim.Proc, cg *CG) {
-	b := fs.BC.Bread(p, fs.SB.CgHeader(cg.Cgx))
+func (fs *Fs) storeCG(p *sim.Proc, cg *CG) error {
+	b, err := fs.BC.Bread(p, fs.SB.CgHeader(cg.Cgx))
+	if err != nil {
+		return err
+	}
 	copy(b.Data, cg.Marshal(fs.SB))
 	fs.BC.Bdwrite(b)
+	return nil
 }
 
 // Sync writes back every dirty inode, cylinder group, the superblock,
 // and flushes the metadata cache. Inodes and groups are visited in
 // ascending number order so the resulting I/O sequence — and therefore
-// virtual time — is identical on every run.
-func (fs *Fs) Sync(p *sim.Proc) {
+// virtual time — is identical on every run. Like update(8), it keeps
+// going past failures and returns the first error.
+func (fs *Fs) Sync(p *sim.Proc) error {
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
 	for _, ino := range detsort.Keys(fs.itable) {
 		if ip := fs.itable[ino]; ip.dirty {
-			fs.IUpdate(p, ip, false)
+			keep(fs.IUpdate(p, ip, false))
 		}
 	}
 	for _, cgx := range detsort.Keys(fs.cgs) {
-		fs.storeCG(p, fs.cgs[cgx])
+		keep(fs.storeCG(p, fs.cgs[cgx]))
 	}
 	b := fs.BC.getblk(p, sbFragOffset)
 	if !b.valid {
@@ -225,8 +249,55 @@ func (fs *Fs) Sync(p *sim.Proc) {
 	}
 	copy(b.Data, sbBlockImage(fs.SB))
 	fs.BC.Bdwrite(b)
-	fs.BC.Flush(p)
+	keep(fs.BC.Flush(p))
+	return firstErr
 }
+
+// SyncInode makes everything fsync promises durable for one file whose
+// data pages have already been written: the inode (size, block
+// pointers) and any dirty indirect blocks. Pointer blocks go out
+// before the inode that makes them reachable, mirroring the data-
+// before-pointers ordering the caller already provided.
+func (fs *Fs) SyncInode(p *sim.Proc, ip *Inode) error {
+	if ib := ip.D.IB[1]; ib != 0 {
+		b, err := fs.BC.Bread(p, ib)
+		if err != nil {
+			return err
+		}
+		nindir := fs.SB.NindirPerBlock()
+		var l2s []int32
+		for i := int64(0); i < nindir; i++ {
+			if l2 := getIndir(b.Data, i); l2 != 0 {
+				l2s = append(l2s, l2)
+			}
+		}
+		fs.BC.Brelse(b)
+		for _, l2 := range l2s {
+			if err := fs.BC.FlushBlock(p, l2); err != nil {
+				return err
+			}
+		}
+		if err := fs.BC.FlushBlock(p, ib); err != nil {
+			return err
+		}
+	}
+	if ib := ip.D.IB[0]; ib != 0 {
+		if err := fs.BC.FlushBlock(p, ib); err != nil {
+			return err
+		}
+	}
+	if ip.dirty {
+		return fs.IUpdate(p, ip, true)
+	}
+	// The last update may still be sitting in the cache as a delayed
+	// write; push the inode block itself.
+	return fs.BC.FlushBlock(p, fs.SB.InoToFsba(ip.Ino))
+}
+
+// IOErr returns the file system's sticky first I/O error, if any:
+// failures with no synchronous caller (delayed metadata write-back,
+// ordered writes, evictions) are reported here and by the next fsync.
+func (fs *Fs) IOErr() error { return fs.BC.Err() }
 
 // SyncImage is the offline equivalent of Sync: spill all state to the
 // image with no simulated time, so fsck and direct image inspection see

@@ -748,10 +748,10 @@ func TestFsckDetectsCorruption(t *testing.T) {
 func TestBufferCacheHitAvoidsIO(t *testing.T) {
 	r := newRig(t, MkfsOpts{})
 	r.run(t, func(p *sim.Proc) {
-		b := r.fs.BC.Bread(p, r.sb.CgHeader(1))
+		b, _ := r.fs.BC.Bread(p, r.sb.CgHeader(1))
 		r.fs.BC.Brelse(b)
 		miss := r.fs.BC.Misses
-		b = r.fs.BC.Bread(p, r.sb.CgHeader(1))
+		b, _ = r.fs.BC.Bread(p, r.sb.CgHeader(1))
 		r.fs.BC.Brelse(b)
 		if r.fs.BC.Misses != miss {
 			t.Error("second bread missed")
@@ -767,12 +767,12 @@ func TestBufferCacheEvictsLRUAndWritesDirty(t *testing.T) {
 	// Tiny cache to force eviction.
 	r.fs.BC = NewBcache(r.s, nil, r.dr, r.sb, 4)
 	r.run(t, func(p *sim.Proc) {
-		b := r.fs.BC.Bread(p, r.sb.CgHeader(0))
+		b, _ := r.fs.BC.Bread(p, r.sb.CgHeader(0))
 		b.Data[100] = 99
 		r.fs.BC.Bdwrite(b)
 		// Touch enough other blocks to evict it.
 		for cg := int32(1); cg <= 4; cg++ {
-			bb := r.fs.BC.Bread(p, r.sb.CgHeader(cg))
+			bb, _ := r.fs.BC.Bread(p, r.sb.CgHeader(cg))
 			r.fs.BC.Brelse(bb)
 		}
 		if r.fs.BC.Evictions == 0 {

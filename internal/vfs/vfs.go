@@ -24,8 +24,10 @@ type File interface {
 	Write(p *sim.Proc, off int64, data []byte) (int, error)
 	// Size returns the current file length.
 	Size() int64
-	// Fsync flushes delayed writes and waits for them.
-	Fsync(p *sim.Proc)
+	// Fsync flushes delayed writes, waits for them to reach the platter,
+	// and writes the file's metadata synchronously; a nil return means
+	// everything written before the call is durable.
+	Fsync(p *sim.Proc) error
 	// Truncate resizes the file.
 	Truncate(p *sim.Proc, size int64) error
 }
@@ -35,7 +37,7 @@ type File interface {
 // PutPage accepts a dirty page back. Both may perform clustering
 // invisibly — that is the paper's thesis.
 type Pager interface {
-	GetPage(p *sim.Proc, vn Object, off int64) *vm.Page
+	GetPage(p *sim.Proc, vn Object, off int64) (*vm.Page, error)
 	PutPage(p *sim.Proc, vn Object, off int64)
 }
 

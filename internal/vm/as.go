@@ -15,9 +15,11 @@ import (
 // through it.
 
 // SegPager resolves a segment fault to a page: the file system's
-// getpage entry as the segment driver sees it.
+// getpage entry as the segment driver sees it. A fault that cannot be
+// resolved (an I/O error on the backing store) returns the error — the
+// hardware analogue is a SIGBUS delivered to the toucher.
 type SegPager interface {
-	Fault(p *sim.Proc, obj Object, off int64) *Page
+	Fault(p *sim.Proc, obj Object, off int64) (*Page, error)
 }
 
 // Seg is a mapping of [Base, Base+Len) to an object starting at Off —
@@ -101,7 +103,10 @@ func (as *AddressSpace) Touch(p *sim.Proc, addr int64) (*Page, error) {
 	}
 	as.Faults++
 	off := seg.Off + (pageAddr - seg.Base)
-	pg := seg.Pager.Fault(p, seg.Obj, off)
+	pg, err := seg.Pager.Fault(p, seg.Obj, off)
+	if err != nil {
+		return nil, err
+	}
 	seg.translations[pageAddr] = pg
 	return pg, nil
 }

@@ -12,18 +12,18 @@ type fakePager struct {
 	faults int
 }
 
-func (fp *fakePager) Fault(p *sim.Proc, obj Object, off int64) *Page {
+func (fp *fakePager) Fault(p *sim.Proc, obj Object, off int64) (*Page, error) {
 	fp.faults++
 	if pg, ok := fp.v.Lookup(obj, off); ok {
 		pg.WaitUnbusy(p)
-		return pg
+		return pg, nil
 	}
 	pg := fp.v.Alloc(p, obj, off)
 	for i := range pg.Data {
 		pg.Data[i] = byte(off >> 13)
 	}
 	pg.Unbusy()
-	return pg
+	return pg, nil
 }
 
 func TestAddressSpaceFaultChain(t *testing.T) {

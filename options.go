@@ -6,6 +6,7 @@ import (
 	"ufsclust/internal/core"
 	"ufsclust/internal/disk"
 	"ufsclust/internal/driver"
+	"ufsclust/internal/fault"
 	"ufsclust/internal/ufs"
 )
 
@@ -68,6 +69,32 @@ func WithFreeBehind(on bool) Option {
 // Same-seed runs produce byte-identical streams.
 func WithTelemetry(w io.Writer) Option {
 	return func(o *Options) { o.EventJSONL = w }
+}
+
+// WithFaultPlan installs a fault plan: media errors and power cuts
+// injected at deterministic points (see internal/fault). Same seed,
+// same plan, same workload — same faults:
+//
+//	m, _ := ufsclust.New(ufsclust.RunA(),
+//		ufsclust.WithFaultPlan(fault.Plan{Rules: []fault.Rule{
+//			fault.FailNth(3, fault.Writes, 1), // 3rd write errors once, then succeeds
+//		}}))
+func WithFaultPlan(pl fault.Plan) Option {
+	return func(o *Options) { o.Fault = pl }
+}
+
+// WithImage boots the machine from a platter snapshot (disk.Disk's
+// Snapshot) instead of running mkfs. The snapshot is deep-copied; the
+// donor machine is not shared.
+func WithImage(img *disk.Image) Option {
+	return func(o *Options) { o.Image = img }
+}
+
+// WithCrashRecovery boots from a platter snapshot and runs ufs.Repair
+// before mounting — the reboot-and-fsck path after a power cut. The
+// repair's report lands in Machine.RepairLog.
+func WithCrashRecovery(img *disk.Image) Option {
+	return func(o *Options) { o.Image = img; o.RepairImage = true }
 }
 
 // New assembles a machine for one of the paper's run configurations,

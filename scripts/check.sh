@@ -15,6 +15,11 @@
 #      go test -race ./internal/runner/... goroutines and channels
 #      go test -race ./internal/telemetry/...  (and the bus, whose
 #                                          subscribers run on hot paths)
+#      go test -race ./internal/fault/...  (injector runs inline on the
+#                                          bus, in parallel sweeps)
+#   6. faultlab smoke sweep                8 crash points over a 2 MB
+#                                          write; exits nonzero on any
+#                                          crash-consistency violation
 #
 # Usage: scripts/check.sh  (from anywhere inside the repo)
 set -eu
@@ -45,5 +50,12 @@ go test -race ./internal/runner/...
 
 echo "==> go test -race ./internal/telemetry/..."
 go test -race ./internal/telemetry/...
+
+echo "==> go test -race ./internal/fault/..."
+go test -race ./internal/fault/...
+
+echo "==> faultlab smoke sweep"
+go build -o "$tmp/faultlab" ./cmd/faultlab
+"$tmp/faultlab" -file 2 -fsync 262144 -cuts 8 -seed 7
 
 echo "check: all gates passed"

@@ -30,6 +30,7 @@ import (
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/disk"
 	"ufsclust/internal/driver"
+	"ufsclust/internal/fault"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
@@ -56,6 +57,17 @@ type Options struct {
 	// JSON line (see internal/telemetry's JSONLWriter). Same-seed runs
 	// produce byte-identical streams.
 	EventJSONL io.Writer
+
+	// Fault is the machine's fault plan (media errors, power cuts);
+	// the zero value injects nothing. See internal/fault.
+	Fault fault.Plan
+
+	// Image, when non-nil, is a platter snapshot (disk.Disk.Snapshot)
+	// restored instead of running mkfs; the machine mounts the existing
+	// file system. RepairImage additionally runs ufs.Repair on the
+	// image before mounting — the crash-recovery path.
+	Image       *disk.Image
+	RepairImage bool
 }
 
 // Machine is a fully assembled simulated system.
@@ -73,6 +85,16 @@ type Machine struct {
 	// emitted on Tel.Bus. Read it through Snapshot; subscribe to
 	// Tel.Bus for the structured event stream.
 	Tel *telemetry.Telemetry
+
+	// Fault executes the machine's fault plan. Always present (an
+	// empty plan injects nothing), so fault.* metrics exist on every
+	// machine. After a power cut, Fault.Crashed() reports true and
+	// the disk image is frozen as of the cut.
+	Fault *fault.Injector
+
+	// RepairLog is the crash-recovery report when the machine was
+	// built with RepairImage (WithCrashRecovery); nil otherwise.
+	RepairLog *ufs.RepairReport
 }
 
 // NewMachine builds a machine, formats its disk, and mounts it.
@@ -99,7 +121,22 @@ func NewMachine(o Options) (*Machine, error) {
 	}
 	dr := driver.New(s, d, cm, dc)
 
-	if _, err := ufs.Mkfs(d, o.Mkfs); err != nil {
+	inj, err := fault.NewInjector(s, o.Fault)
+	if err != nil {
+		return nil, fmt.Errorf("fault plan: %w", err)
+	}
+	d.AttachFaults(inj)
+
+	var repairLog *ufs.RepairReport
+	if o.Image != nil {
+		d.Restore(o.Image)
+		if o.RepairImage {
+			repairLog, err = ufs.Repair(d)
+			if err != nil {
+				return nil, fmt.Errorf("repair: %w", err)
+			}
+		}
+	} else if _, err := ufs.Mkfs(d, o.Mkfs); err != nil {
 		return nil, fmt.Errorf("mkfs: %w", err)
 	}
 	fs, err := ufs.Mount(s, cm, dr, o.Mount)
@@ -117,7 +154,12 @@ func NewMachine(o Options) (*Machine, error) {
 	if o.EventJSONL != nil {
 		tel.Bus.Subscribe(telemetry.NewJSONL(o.EventJSONL).Write)
 	}
-	return &Machine{Sim: s, CPU: cm, Disk: d, Driver: dr, VM: v, FS: fs, Engine: eng, Tel: tel}, nil
+	// The injector's telemetry goes last so its crash_cut / fault_inject
+	// lines appear in the JSONL stream after the event that triggered
+	// them — the bus runs subscribers in registration order.
+	inj.AttachTelemetry(tel)
+	return &Machine{Sim: s, CPU: cm, Disk: d, Driver: dr, VM: v, FS: fs, Engine: eng, Tel: tel,
+		Fault: inj, RepairLog: repairLog}, nil
 }
 
 // Run spawns fn as a simulated process and drives the simulation until
@@ -166,6 +208,7 @@ func (m *Machine) ResetStats() {
 	m.VM.Stats = vm.Stats{}
 	m.Engine.Stats = core.Stats{}
 	m.FS.ResetStats()
+	m.Fault.Stats = fault.Stats{}
 	m.CPU.Reset()
 	m.Tel.Reg.ResetHists()
 }
