@@ -47,10 +47,48 @@ type Analyzer struct {
 	Run       func(*Pass)
 }
 
+// A Module is the set of packages loaded for one analysis run, plus a
+// cache of facts computed across them. Interprocedural analyzers (the
+// simflow family) build whole-module structures — call graphs, summary
+// facts — once per run and share them between analyzers and packages
+// through Fact.
+type Module struct {
+	Pkgs  []*Package // sorted by import path
+	facts map[string]any
+}
+
+// NewModule wraps loaded packages for analysis.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, facts: make(map[string]any)}
+}
+
+// Fact returns the cached module-wide fact under key, building it with
+// build on first use. Analyzers use it to share expensive structures
+// (one call graph per run, not one per analyzer per package).
+func (m *Module) Fact(key string, build func(m *Module) any) any {
+	if v, ok := m.facts[key]; ok {
+		return v
+	}
+	v := build(m)
+	m.facts[key] = v
+	return v
+}
+
+// Package returns the module package with the given import path, or nil.
+func (m *Module) Package(path string) *Package {
+	for _, pkg := range m.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
 // A Pass carries one analyzer's run over one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Module   *Module
 	diags    []Diagnostic
 }
 
@@ -71,9 +109,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // RunAnalyzer applies a single analyzer to a loaded package,
 // unconditionally (AppliesTo is not consulted), and returns the
-// surviving diagnostics after suppression comments are honoured.
+// surviving diagnostics after suppression comments are honoured. The
+// package is wrapped in a single-package Module, so interprocedural
+// analyzers see exactly the fixture package plus its type imports.
 func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
-	pass := &Pass{Analyzer: a, Pkg: pkg}
+	return runAnalyzerIn(NewModule([]*Package{pkg}), a, pkg)
+}
+
+// runAnalyzerIn runs a on pkg within m, records that the rule was
+// considered for pkg (for stalesuppress), and returns the diagnostics
+// surviving suppression. Matching directives are marked used whether or
+// not the finding survives elsewhere.
+func runAnalyzerIn(m *Module, a *Analyzer, pkg *Package) []Diagnostic {
+	pkg.ranRules[a.Name] = true
+	pass := &Pass{Analyzer: a, Pkg: pkg, Module: m}
 	a.Run(pass)
 	var out []Diagnostic
 	for _, d := range pass.diags {
@@ -88,18 +137,38 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 // Run loads the packages named by patterns (see Loader.Load) and
 // applies every registered analyzer whose AppliesTo accepts the
 // package. Diagnostics come back sorted by position.
+//
+// StaleSuppress, if selected, runs after every other analyzer on each
+// package: only then is it known which directives suppressed something.
 func Run(l *Loader, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := l.Load(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	m := NewModule(pkgs)
 	var out []Diagnostic
+	var stale *Analyzer
+	for _, a := range analyzers {
+		if a.Name == StaleSuppress.Name {
+			stale = a
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a == stale {
+				continue
+			}
+			// A rule that is selected but out of scope still counts as
+			// considered: it can never fire here, so a directive naming
+			// it is stale.
+			pkg.ranRules[a.Name] = true
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			out = append(out, RunAnalyzer(a, pkg)...)
+			out = append(out, runAnalyzerIn(m, a, pkg)...)
+		}
+		if stale != nil && (stale.AppliesTo == nil || stale.AppliesTo(pkg.Path)) {
+			out = append(out, runAnalyzerIn(m, stale, pkg)...)
 		}
 	}
 	sortDiagnostics(out)
@@ -122,13 +191,26 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// Analyzers is the registry cmd/simlint runs by default.
+// Analyzers is the registry cmd/simlint runs by default. Packages
+// layered on top of this framework (internal/analysis/simflow) append
+// their analyzers with Register from an init function; importing them
+// for side effects is what arms the extra rules.
 var Analyzers = []*Analyzer{
 	DetRand,
 	MapOrder,
 	NoGoroutine,
 	PanicPath,
 	UnitMix,
+	StaleSuppress,
+}
+
+// Register appends a to the default registry. Call from init; duplicate
+// names are rejected so two packages cannot silently shadow a rule.
+func Register(a *Analyzer) {
+	if FindAnalyzer(a.Name) != nil {
+		panic("analysis: duplicate analyzer " + a.Name) // simlint:invariant -- init-time registry misuse
+	}
+	Analyzers = append(Analyzers, a)
 }
 
 // FindAnalyzer returns the registered analyzer with the given name.
@@ -141,48 +223,76 @@ func FindAnalyzer(name string) *Analyzer {
 	return nil
 }
 
-// suppression is one simlint control comment.
+// suppression is one simlint control comment. used flips when the
+// directive actually suppresses a finding; stalesuppress reports
+// directives that stay unused after every considered rule has run.
 type suppression struct {
-	line  int
-	rules []string // nil means all rules
+	pos       token.Position
+	line      int
+	rules     []string // nil means all rules
+	invariant bool     // written as simlint:invariant
+	used      bool
 }
 
 // suppressed reports whether d is covered by a simlint:ignore (or
 // simlint:invariant, for panicpath) comment on its line or the line
-// immediately above.
+// immediately above. Every matching directive is marked used, not just
+// the first, so stacked directives age accurately.
 func (p *Package) suppressed(d Diagnostic) bool {
+	hit := false
 	for _, s := range p.suppressions[d.Pos.Filename] {
 		if s.line != d.Pos.Line && s.line != d.Pos.Line-1 {
 			continue
 		}
 		if s.rules == nil {
-			return true
+			// A bare directive never silences the meta-rule: it would
+			// suppress the staleness report about itself (its position is
+			// in range of its own line), so stale bare directives could
+			// never be aged out. Silencing stalesuppress requires naming
+			// it.
+			if d.Rule == StaleSuppress.Name {
+				continue
+			}
+			s.used = true
+			hit = true
+			continue
 		}
 		for _, r := range s.rules {
 			if r == d.Rule {
-				return true
+				s.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// directiveSep reports whether the text following a directive token
+// begins legitimately: end of comment, whitespace, or the prose marker.
+// Prose that merely starts with the token ("simlint:invariant, for
+// panicpath, ...") is not a directive.
+func directiveSep(rest string) bool {
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || strings.HasPrefix(rest, "--")
 }
 
 // collectSuppressions scans a file's comments for simlint directives.
-func collectSuppressions(fset *token.FileSet, f *ast.File, into map[string][]suppression) {
+func collectSuppressions(fset *token.FileSet, f *ast.File, into map[string][]*suppression) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
 			text = strings.TrimSpace(text)
 			pos := fset.Position(c.Pos())
-			if strings.HasPrefix(text, "simlint:invariant") {
-				into[pos.Filename] = append(into[pos.Filename], suppression{
-					line:  pos.Line,
-					rules: []string{"panicpath"},
+			if rest, ok := strings.CutPrefix(text, "simlint:invariant"); ok && directiveSep(rest) {
+				into[pos.Filename] = append(into[pos.Filename], &suppression{
+					pos:       pos,
+					line:      pos.Line,
+					rules:     []string{"panicpath"},
+					invariant: true,
 				})
 				continue
 			}
-			if rest, ok := strings.CutPrefix(text, "simlint:ignore"); ok {
-				s := suppression{line: pos.Line}
+			if rest, ok := strings.CutPrefix(text, "simlint:ignore"); ok && directiveSep(rest) {
+				s := &suppression{pos: pos, line: pos.Line}
 				// Anything after "--" (or nothing at all) is prose; bare
 				// directives suppress every rule on the line.
 				rest, _, _ = strings.Cut(rest, "--")

@@ -118,7 +118,7 @@ func TestAppliesToScopes(t *testing.T) {
 		{MapOrder, "ufsclust/internal/runner", false},
 		{NoGoroutine, "ufsclust/internal/core", true},
 		{NoGoroutine, "ufsclust/internal/ufs", true},
-		{NoGoroutine, "ufsclust/internal/sim", false}, // the kernel owns the real channels
+		{NoGoroutine, "ufsclust/internal/sim", false},    // the kernel owns the real channels
 		{NoGoroutine, "ufsclust/internal/runner", false}, // the runner's worker pool is host-side by design
 		{NoGoroutine, "ufsclust/internal/iobench", false},
 		{PanicPath, "ufsclust/internal/analysis", true},

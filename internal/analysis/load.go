@@ -22,7 +22,8 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	suppressions map[string][]suppression // filename -> directives
+	suppressions map[string][]*suppression // filename -> directives
+	ranRules     map[string]bool           // analyzers considered for this package
 }
 
 // Loader parses and type-checks packages of the enclosing module using
@@ -231,7 +232,8 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		Files:        files,
 		Types:        tpkg,
 		Info:         info,
-		suppressions: make(map[string][]suppression),
+		suppressions: make(map[string][]*suppression),
+		ranRules:     make(map[string]bool),
 	}
 	for _, f := range files {
 		collectSuppressions(l.Fset, f, pkg.suppressions)

@@ -59,3 +59,23 @@ func libScope(path string) bool {
 func moduleScope(path string) bool {
 	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
 }
+
+// The exported scope surface below is what layered analyzer packages
+// (internal/analysis/simflow) key their AppliesTo and package-set
+// checks on, so the repository's layout is encoded in one place.
+
+// ModulePath returns the module import-path root the scopes are keyed on.
+func ModulePath() string { return modulePath }
+
+// ModuleScope reports whether path is inside the module (commands included).
+func ModuleScope(path string) bool { return moduleScope(path) }
+
+// SimScope reports whether the determinism rules are in force for path.
+func SimScope(path string) bool { return simScope(path) }
+
+// ToolingPackage reports whether path is host-side developer tooling.
+func ToolingPackage(path string) bool { return toolingPkgs[path] }
+
+// ModelPackage reports whether path is one of the simulation-model
+// packages (core, ufs, vm, disk, driver, extfs, telemetry, fault).
+func ModelPackage(path string) bool { return modelPkgs[path] }

@@ -1,0 +1,294 @@
+package simflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"ufsclust/internal/analysis"
+)
+
+// flushPending materializes the references collected in pass 1 now that
+// every declared node exists: address-taken marks, signature index
+// entries, and func-typed variable bindings.
+func (b *builder) flushPending() {
+	for _, pt := range b.pendingTaken {
+		fn := b.funcFor(pt.tf)
+		fn.AddrTaken = true
+		b.addSig(typeKey(pt.typ), fn)
+	}
+	for _, pv := range b.pendingVarLits {
+		if fn := b.prog.byLit[pv.lit]; fn != nil {
+			b.prog.varFuncs[pv.obj] = append(b.prog.varFuncs[pv.obj], fn)
+		}
+	}
+	for _, pv := range b.pendingVarRefs {
+		b.prog.varFuncs[pv.obj] = append(b.prog.varFuncs[pv.obj], b.funcFor(pv.tf))
+	}
+}
+
+func (b *builder) addSig(key string, fn *Func) {
+	for _, existing := range b.prog.bySig[key] {
+		if existing == fn {
+			return
+		}
+	}
+	b.prog.bySig[key] = append(b.prog.bySig[key], fn)
+}
+
+// funcFor returns the node for a declared module function, creating an
+// external node when its source is not loaded.
+func (b *builder) funcFor(tf *types.Func) *Func {
+	if fn, ok := b.prog.byObj[tf]; ok {
+		return fn
+	}
+	return b.external(tf)
+}
+
+// resolve walks n attaching a Call (with its resolved target set) to fn
+// for every call expression. Literal bodies recurse with the literal's
+// own node as fn; calls at package level outside any literal (var
+// initializer expressions) have no carrier and are skipped.
+func (b *builder) resolve(pkg *analysis.Package, fn *Func, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			b.resolve(pkg, b.prog.byLit[x], x.Body)
+			return false
+		case *ast.CallExpr:
+			if fn == nil {
+				return true
+			}
+			targets := b.callTargets(pkg, x)
+			if len(targets) > 0 {
+				sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+				c := &Call{Pos: x.Lparen, Targets: targets}
+				fn.Calls = append(fn.Calls, c)
+				b.prog.callsAt[x.Lparen] = c
+			}
+		}
+		return true
+	})
+}
+
+// callTargets resolves one call expression to the set of functions it
+// may invoke. Conversions and builtins resolve to nothing; interface
+// method calls resolve to every module type implementing the interface;
+// calls through function values resolve to every address-taken function
+// of identical signature.
+func (b *builder) callTargets(pkg *analysis.Package, call *ast.CallExpr) []*Func {
+	info := pkg.Info
+	fun := unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Builtin, *types.TypeName, nil:
+			return nil
+		case *types.Func:
+			return []*Func{b.funcFor(obj)}
+		case *types.Var:
+			if bound := b.prog.varFuncs[obj]; len(bound) > 0 {
+				return append([]*Func(nil), bound...)
+			}
+			return b.dynamicTargets(info, fun)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if tf, ok := sel.Obj().(*types.Func); ok {
+					if types.IsInterface(sel.Recv()) {
+						return b.interfaceTargets(sel.Recv(), tf.Name())
+					}
+					return []*Func{b.funcFor(tf)}
+				}
+			case types.FieldVal:
+				return b.dynamicTargets(info, fun)
+			}
+			return nil
+		}
+		// Qualified reference: pkg.Func.
+		if tf, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return []*Func{b.funcFor(tf)}
+		}
+		return nil
+	}
+	return b.dynamicTargets(info, fun)
+}
+
+// dynamicTargets matches a call through a function value against every
+// address-taken function with the identical signature.
+func (b *builder) dynamicTargets(info *types.Info, fun ast.Expr) []*Func {
+	tv, ok := info.Types[fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isSig := tv.Type.Underlying().(*types.Signature); !isSig {
+		return nil
+	}
+	return append([]*Func(nil), b.prog.bySig[typeKey(tv.Type)]...)
+}
+
+// interfaceTargets is class-hierarchy analysis: every named module type
+// (or its pointer) implementing the interface contributes its method.
+func (b *builder) interfaceTargets(iface types.Type, method string) []*Func {
+	under, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*Func
+	seen := map[*Func]bool{}
+	for _, named := range b.prog.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, under) && !types.Implements(ptr, under) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		if tf, ok := obj.(*types.Func); ok {
+			fn := b.funcFor(tf)
+			if !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// computeMayBlock seeds the blocking primitives (and the external
+// summaries, for nodes with no loaded body) and propagates "may block"
+// backwards over call edges to a fixed point. Iteration is in node-id
+// order, so the first witness recorded for each function — and the
+// diagnostic path built from it — is the same on every run.
+func (pr *Program) computeMayBlock() {
+	for _, f := range pr.Funcs {
+		if f.Obj == nil {
+			continue
+		}
+		key := FuncKey(f.Obj)
+		if blockPrimitives[key] {
+			f.MayBlock = true
+		} else if f.Decl == nil && externBlock[key] {
+			f.MayBlock = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pr.Funcs {
+			if f.MayBlock {
+				continue
+			}
+			for _, c := range f.Calls {
+				blocked := false
+				for _, t := range c.Targets {
+					if t.MayBlock {
+						blocked = true
+						break
+					}
+				}
+				if blocked {
+					f.MayBlock = true
+					f.via = c
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// Reach walks the call graph from f (breadth-first, id order) and
+// returns the first reached function satisfying pred, along with the
+// call path from f to it inclusive. It returns (nil, nil) when nothing
+// matches. f itself is not tested.
+func (pr *Program) Reach(f *Func, pred func(*Func) bool) (*Func, []*Func) {
+	type hop struct {
+		fn   *Func
+		from *hop
+	}
+	start := &hop{fn: f}
+	queue := []*hop{start}
+	visited := map[*Func]bool{f: true}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, c := range h.fn.Calls {
+			for _, t := range c.Targets {
+				if visited[t] {
+					continue
+				}
+				visited[t] = true
+				th := &hop{fn: t, from: h}
+				if pred(t) {
+					var path []*Func
+					for x := th; x != nil; x = x.from {
+						path = append(path, x.fn)
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return t, path
+				}
+				queue = append(queue, th)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// PathString renders a Reach path for a diagnostic.
+func PathString(path []*Func) string {
+	parts := make([]string, len(path))
+	for i, f := range path {
+		parts[i] = shortName(f.Name)
+	}
+	return joinArrow(parts)
+}
+
+func joinArrow(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " -> "
+		}
+		out += p
+	}
+	return out
+}
+
+// ResolveValue resolves a function-valued expression at a registration
+// site (callback argument, struct field value) to the functions it can
+// denote: a literal, a direct function or method-value reference, or a
+// variable with recorded bindings. Unresolvable expressions (a field
+// read, a call result) return nil and the caller skips them — the
+// documented soundness trade for a usable signal.
+func (pr *Program) ResolveValue(pkg *analysis.Package, e ast.Expr) []*Func {
+	switch x := unparen(e).(type) {
+	case *ast.FuncLit:
+		if fn := pr.byLit[x]; fn != nil {
+			return []*Func{fn}
+		}
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[x].(type) {
+		case *types.Func:
+			if fn := pr.byObj[obj]; fn != nil {
+				return []*Func{fn}
+			}
+		case *types.Var:
+			return append([]*Func(nil), pr.varFuncs[obj]...)
+		}
+	case *ast.SelectorExpr:
+		if tf, ok := pkg.Info.Uses[x.Sel].(*types.Func); ok {
+			if fn := pr.byObj[tf]; fn != nil {
+				return []*Func{fn}
+			}
+		}
+	}
+	return nil
+}

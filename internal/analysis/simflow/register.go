@@ -1,0 +1,11 @@
+package simflow
+
+import "ufsclust/internal/analysis"
+
+// Importing simflow (cmd/simlint does, for side effects) arms the
+// interprocedural rules in the framework's default registry.
+func init() {
+	analysis.Register(BlockPath)
+	analysis.Register(BusPure)
+	analysis.Register(TimeFlow)
+}

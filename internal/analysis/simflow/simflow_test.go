@@ -1,0 +1,129 @@
+package simflow
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ufsclust/internal/analysis"
+)
+
+var (
+	progOnce sync.Once
+	prog     *Program
+	progErr  error
+)
+
+// loadProgram builds one Program over the callgraph fixture package and
+// caches it across the tests.
+func loadProgram(t *testing.T) *Program {
+	t.Helper()
+	progOnce.Do(func() {
+		l, err := analysis.NewLoader(".")
+		if err != nil {
+			progErr = err
+			return
+		}
+		pkgs, err := l.Load("internal/analysis/testdata/src/callgraph")
+		if err != nil {
+			progErr = err
+			return
+		}
+		m := analysis.NewModule(pkgs)
+		pass := &analysis.Pass{Analyzer: BlockPath, Pkg: pkgs[0], Module: m}
+		prog = ProgramFor(pass)
+	})
+	if progErr != nil {
+		t.Fatalf("load callgraph fixture: %v", progErr)
+	}
+	return prog
+}
+
+// fn finds the unique program node whose name ends in suffix.
+func fn(t *testing.T, pr *Program, suffix string) *Func {
+	t.Helper()
+	var found *Func
+	for _, f := range pr.Funcs {
+		if strings.HasSuffix(f.Name, suffix) {
+			if found != nil {
+				t.Fatalf("ambiguous suffix %q: %s and %s", suffix, found.Name, f.Name)
+			}
+			found = f
+		}
+	}
+	if found == nil {
+		t.Fatalf("no function with suffix %q", suffix)
+	}
+	return found
+}
+
+func TestInterfaceDispatch(t *testing.T) {
+	pr := loadProgram(t)
+	caller := fn(t, pr, ".viaInterface")
+	if len(caller.Calls) != 1 {
+		t.Fatalf("viaInterface: got %d calls, want 1", len(caller.Calls))
+	}
+	var names []string
+	for _, target := range caller.Calls[0].Targets {
+		names = append(names, shortName(target.Name))
+	}
+	got := strings.Join(names, ",")
+	if !strings.Contains(got, "sleeper).do") || !strings.Contains(got, "noop).do") {
+		t.Errorf("interface dispatch resolved to %q, want both sleeper.do and noop.do", got)
+	}
+	if !caller.MayBlock {
+		t.Error("viaInterface must be may-block through sleeper.do")
+	}
+	if fn(t, pr, "sleeper).do").MayBlock != true {
+		t.Error("sleeper.do must be may-block")
+	}
+	if fn(t, pr, "noop).do").MayBlock {
+		t.Error("noop.do must not be may-block")
+	}
+}
+
+func TestFunctionValueCall(t *testing.T) {
+	pr := loadProgram(t)
+	caller := fn(t, pr, ".viaValue")
+	if !caller.MayBlock {
+		t.Error("viaValue must be may-block through the f := blockFn binding")
+	}
+	path := pr.BlockPath(caller)
+	if !strings.Contains(path, "blockFn") || !strings.Contains(path, "(*sim.Proc).Block") {
+		t.Errorf("BlockPath(viaValue) = %q, want a path through blockFn to sim.Proc.Block", path)
+	}
+}
+
+func TestRecursionFixedPoint(t *testing.T) {
+	pr := loadProgram(t)
+	if fn(t, pr, ".mutualA").MayBlock || fn(t, pr, ".mutualB").MayBlock {
+		t.Error("non-blocking mutual recursion must stay clean")
+	}
+	if !fn(t, pr, ".recursiveWait").MayBlock {
+		t.Error("recursiveWait blocks at the bottom of its recursion and must be may-block")
+	}
+}
+
+func TestAppliesToScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{BlockPath, "ufsclust/internal/ufs", true},
+		{BlockPath, "ufsclust/internal/sim", false}, // the kernel implements the primitives
+		{BlockPath, "ufsclust/internal/cpu", false}, // wrapping Resource.Use is its purpose
+		{BlockPath, "ufsclust/internal/analysis", false},
+		{BusPure, "ufsclust/internal/vm", true},
+		{BusPure, "ufsclust/cmd/fsx", true},
+		{BusPure, "ufsclust/internal/analysis", false},
+		{TimeFlow, "ufsclust/internal/disk", true},
+		{TimeFlow, "ufsclust/cmd/iobench", true},
+		{TimeFlow, "othermodule/pkg", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}

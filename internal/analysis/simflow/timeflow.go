@@ -1,0 +1,297 @@
+package simflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ufsclust/internal/analysis"
+)
+
+// TimeFlow promotes unitmix from literal-only to flow-sensitive: it
+// tracks count-valued data (block, sector, fragment, and byte counts —
+// recognized from len/cap results and from the unit vocabulary in
+// identifier names) through assignments, parameters, and function
+// returns, and flags sim.Time conversions whose operand is a count.
+// sim.Time measures duration; a count converted without scaling by a
+// per-unit cost (the `t + toSectors(n)` shape) type-checks fine and
+// silently corrupts virtual time.
+//
+// A conversion directly inside a multiplication or division is
+// sanctioned — `sim.Time(n) * sim.Microsecond` is the scaling idiom,
+// and `total / sim.Time(n)` is a mean. Values derived from sim.Time
+// (`int64(t) / blockSize`) carry time taint, which dominates count, so
+// splitting a duration into per-block shares stays clean.
+var TimeFlow = &analysis.Analyzer{
+	Name:      "timeflow",
+	Doc:       "flow-sensitive unit taint: count-valued data must not convert to sim.Time unscaled",
+	AppliesTo: analysis.ModuleScope,
+	Run:       runTimeFlow,
+}
+
+type taint uint8
+
+const (
+	tNone taint = iota
+	tCount
+	tTime // dominates: arithmetic with time stays time
+)
+
+func mergeTaint(a, b taint) taint {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// countVocab decides whether an integer-typed name denotes a unit
+// count. Substrings catch compounds (nblocks, sectPerTrack); the exact
+// set catches the bare conventional names.
+var countVocabSub = []string{"block", "blk", "frag", "sector", "sect", "lbn", "fsbn", "byte"}
+var countVocabExact = map[string]bool{"n": true, "count": true, "size": true, "off": true, "offset": true}
+
+func countName(name string) bool {
+	lower := strings.ToLower(name)
+	if countVocabExact[lower] {
+		return true
+	}
+	for _, sub := range countVocabSub {
+		if strings.Contains(lower, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSimTime reports whether t is (an alias of) sim.Time.
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == analysis.ModulePath()+"/internal/sim" && named.Obj().Name() == "Time"
+}
+
+// isIntegerish reports whether t can carry a count: any integer or
+// float kind, basic or named — except sim.Time itself.
+func isIntegerish(t types.Type) bool {
+	if isSimTime(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// computeReturnTaints summarizes, to a fixed point across the module,
+// the taint of every single-result function's return value. The
+// summaries feed call expressions in exprTaint, which is what carries
+// a count through `toSectors(n)` to the conversion site that misuses
+// it.
+func (pr *Program) computeReturnTaints() {
+	pr.returns = make(map[*types.Func]taint)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pr.Funcs {
+			if f.Decl == nil || f.Obj == nil || f.Decl.Body == nil {
+				continue
+			}
+			sig := f.Obj.Type().(*types.Signature)
+			if sig.Results().Len() != 1 || !isIntegerish(sig.Results().At(0).Type()) {
+				continue
+			}
+			env := buildEnv(pr, f.Pkg, f.Decl)
+			t := tNone
+			ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // a literal's returns are not f's returns
+				}
+				if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+					t = mergeTaint(t, exprTaint(pr, f.Pkg, env, ret.Results[0]))
+				}
+				return true
+			})
+			if t > pr.returns[f.Obj] {
+				pr.returns[f.Obj] = t
+				changed = true
+			}
+		}
+	}
+}
+
+// buildEnv computes the taint of each local variable of fd as the merge
+// of everything assigned to it, plus count taint for vocabulary-named
+// parameters. Two passes stabilize chained locals (a := n; b := a).
+func buildEnv(pr *Program, pkg *analysis.Package, fd *ast.FuncDecl) map[types.Object]taint {
+	env := make(map[types.Object]taint)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pkg.Info.Defs[name]
+				if obj != nil && isIntegerish(obj.Type()) && countName(name.Name) {
+					env[obj] = tCount
+				}
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, l := range x.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := pkg.Info.Defs[id]
+					if obj == nil {
+						obj = pkg.Info.Uses[id]
+					}
+					if obj == nil || !isIntegerish(obj.Type()) {
+						continue
+					}
+					env[obj] = mergeTaint(env[obj], exprTaint(pr, pkg, env, x.Rhs[i]))
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) != len(x.Values) {
+					return true
+				}
+				for i, id := range x.Names {
+					obj := pkg.Info.Defs[id]
+					if obj == nil || !isIntegerish(obj.Type()) {
+						continue
+					}
+					env[obj] = mergeTaint(env[obj], exprTaint(pr, pkg, env, x.Values[i]))
+				}
+			}
+			return true
+		})
+	}
+	return env
+}
+
+// exprTaint evaluates the unit taint of e under env. Time dominates
+// count; division, shifts, and remainder keep the left operand's taint
+// (dividing a count by a rate is still a count; dividing a time by a
+// count is a per-unit time).
+func exprTaint(pr *Program, pkg *analysis.Package, env map[types.Object]taint, e ast.Expr) taint {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil && isSimTime(tv.Type) {
+		return tTime
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return exprTaint(pr, pkg, env, x.X)
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			return tNone
+		}
+		if t, ok := env[obj]; ok {
+			return t
+		}
+		if v, ok := obj.(*types.Var); ok && isIntegerish(v.Type()) && countName(x.Name) {
+			return tCount
+		}
+		return tNone
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal &&
+			isIntegerish(sel.Type()) && countName(x.Sel.Name) {
+			return tCount
+		}
+		return tNone
+	case *ast.CallExpr:
+		fun := unparen(x.Fun)
+		if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+			if len(x.Args) == 1 {
+				return exprTaint(pr, pkg, env, x.Args[0]) // conversion is taint-transparent
+			}
+			return tNone
+		}
+		if id, ok := fun.(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "len" || b.Name() == "cap" {
+					return tCount
+				}
+				return tNone
+			}
+		}
+		if tf := referencedFunc(pkg, fun); tf != nil {
+			return pr.returns[tf]
+		}
+		return tNone
+	case *ast.UnaryExpr:
+		return exprTaint(pr, pkg, env, x.X)
+	case *ast.StarExpr:
+		return exprTaint(pr, pkg, env, x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.QUO, token.REM, token.SHL, token.SHR:
+			return exprTaint(pr, pkg, env, x.X)
+		case token.ADD, token.SUB, token.MUL, token.AND, token.OR, token.XOR:
+			return mergeTaint(exprTaint(pr, pkg, env, x.X), exprTaint(pr, pkg, env, x.Y))
+		}
+		return tNone
+	}
+	return tNone
+}
+
+func runTimeFlow(pass *analysis.Pass) {
+	prog := ProgramFor(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			env := buildEnv(prog, pass.Pkg, fd)
+			parents := make(map[ast.Node]ast.Node)
+			var stack []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if len(stack) > 0 {
+					parents[n] = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[unparen(call.Fun)]
+				if !ok || !tv.IsType() || !isSimTime(tv.Type) {
+					return true
+				}
+				if exprTaint(prog, pass.Pkg, env, call.Args[0]) != tCount {
+					return true
+				}
+				if scalingContext(parents, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "count-valued expression converted to sim.Time without scaling; multiply by a per-unit duration (e.g. sim.Time(n) * sim.Microsecond)")
+				return true
+			})
+		}
+	}
+}
+
+// scalingContext reports whether the conversion sits directly inside a
+// multiplication, division, or remainder — the contexts where a bare
+// count legitimately meets sim.Time.
+func scalingContext(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch x := p.(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr:
+			return x.Op == token.MUL || x.Op == token.QUO || x.Op == token.REM
+		default:
+			return false
+		}
+	}
+	return false
+}

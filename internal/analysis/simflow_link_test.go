@@ -1,0 +1,20 @@
+// This file links the simflow analyzers into the analysis test binary:
+// the blank import runs their Register calls, so TestGolden iterates
+// their fixtures and TestRepositoryClean gates the tree on the same
+// registry cmd/simlint ships.
+package analysis_test
+
+import (
+	"testing"
+
+	"ufsclust/internal/analysis"
+	_ "ufsclust/internal/analysis/simflow"
+)
+
+func TestSimflowRegistered(t *testing.T) {
+	for _, name := range []string{"blockpath", "buspure", "timeflow"} {
+		if analysis.FindAnalyzer(name) == nil {
+			t.Errorf("analyzer %q is not in the registry; simflow's Register init did not run", name)
+		}
+	}
+}

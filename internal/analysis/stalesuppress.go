@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// StaleSuppress reports simlint control comments that no longer
+// suppress anything. Suppressions rot: the code they excused moves or
+// gets fixed, the directive stays behind, and a later real finding on
+// that line is silently swallowed. The rule runs last (Run orders it
+// after every other analyzer on each package) and reads the used marks
+// left by suppression matching.
+//
+// A directive is stale when every rule it names has been considered for
+// the package and it still suppressed no finding. A bare simlint:ignore
+// is judged against the whole registry. Rules missing from the run so
+// far are force-run here with their findings discarded, so the verdict
+// never depends on which subset of analyzers the caller selected.
+var StaleSuppress = &Analyzer{
+	Name:      "stalesuppress",
+	Doc:       "report simlint:ignore / simlint:invariant directives that no longer suppress a finding",
+	AppliesTo: moduleScope,
+}
+
+// Run is attached here rather than in the literal: runStaleSuppress
+// walks the Analyzers registry, which contains StaleSuppress, and a
+// direct reference would be an initialization cycle.
+func init() { StaleSuppress.Run = runStaleSuppress }
+
+func runStaleSuppress(pass *Pass) {
+	pkg := pass.Pkg
+	// Consider every registered rule the caller did not already run, so
+	// used marks are complete before judging. Findings are discarded —
+	// this pass exists only to age the directives.
+	for _, a := range Analyzers {
+		if a.Name == pass.Analyzer.Name || pkg.ranRules[a.Name] {
+			continue
+		}
+		pkg.ranRules[a.Name] = true
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		runAnalyzerIn(pass.Module, a, pkg)
+	}
+
+	files := make([]string, 0, len(pkg.suppressions))
+	for f := range pkg.suppressions {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, s := range pkg.suppressions[f] {
+			if s.used {
+				continue
+			}
+			d := Diagnostic{Pos: s.pos, Rule: pass.Analyzer.Name}
+			switch {
+			case s.invariant:
+				d.Msg = "stale simlint:invariant: no panicpath finding here; delete it or restore the assertion"
+			case s.rules == nil:
+				d.Msg = "stale simlint:ignore: suppresses nothing; delete the directive"
+			default:
+				var unknown []string
+				for _, r := range s.rules {
+					if FindAnalyzer(r) == nil {
+						unknown = append(unknown, r)
+					}
+				}
+				if len(unknown) > 0 {
+					d.Msg = "stale simlint:ignore " + strings.Join(s.rules, " ") +
+						": unknown rule " + strings.Join(unknown, ", ")
+				} else {
+					d.Msg = "stale simlint:ignore " + strings.Join(s.rules, " ") +
+						": suppresses nothing; delete the directive"
+				}
+			}
+			pass.diags = append(pass.diags, d)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the buspure rule: telemetry bus
+// subscribers must not re-enter Emit, block the emitting process, or
+// call back into model packages; pure observers pass.
+package fixture
+
+import (
+	"ufsclust/internal/disk"
+	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
+)
+
+var last sim.Time
+
+func badReemit(bus *telemetry.Bus) {
+	bus.Subscribe(func(ev telemetry.Event) {
+		bus.Emit(telemetry.Event{Kind: ev.Kind})
+	})
+}
+
+func badBlocks(bus *telemetry.Bus, p *sim.Proc, q *sim.WaitQ) {
+	bus.Subscribe(func(ev telemetry.Event) {
+		p.Block(q)
+	})
+}
+
+func badModelCall(bus *telemetry.Bus, dk *disk.Disk, r *disk.Request) {
+	bus.Subscribe(func(ev telemetry.Event) {
+		dk.Submit(r)
+	})
+}
+
+func goodObserver(bus *telemetry.Bus) {
+	bus.Subscribe(func(ev telemetry.Event) {
+		last = ev.T
+	})
+}
+
+func suppressedObserver(bus *telemetry.Bus, dk *disk.Disk, r *disk.Request) {
+	// simlint:ignore buspure -- audited: replays the event into a scratch model
+	bus.Subscribe(func(ev telemetry.Event) {
+		dk.Submit(r)
+	})
+}

@@ -1,0 +1,52 @@
+// Package fixture is the call-graph unit-test subject: interface
+// dispatch, calls through function values, and recursion, each shaped
+// so the may-block fixed point has something to discover (or to
+// correctly not discover).
+package fixture
+
+import "ufsclust/internal/sim"
+
+type doer interface{ do(p *sim.Proc) }
+
+type sleeper struct{ q sim.WaitQ }
+
+func (s *sleeper) do(p *sim.Proc) { p.Block(&s.q) }
+
+type noop struct{}
+
+func (noop) do(p *sim.Proc) {}
+
+// viaInterface dispatches through the interface: class-hierarchy
+// analysis must resolve both implementations, and sleeper's makes the
+// caller may-block.
+func viaInterface(d doer, p *sim.Proc) { d.do(p) }
+
+func blockFn(p *sim.Proc, q *sim.WaitQ) { p.Block(q) }
+
+// viaValue calls through a function-typed local bound to blockFn.
+func viaValue(p *sim.Proc, q *sim.WaitQ) {
+	f := blockFn
+	f(p, q)
+}
+
+// mutualA and mutualB recurse into each other without ever blocking:
+// the fixed point must terminate and leave both clean.
+func mutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return mutualB(n - 1)
+}
+
+func mutualB(n int) int {
+	return mutualA(n - 1)
+}
+
+// recursiveWait blocks at the bottom of its own recursion.
+func recursiveWait(p *sim.Proc, q *sim.WaitQ, n int) {
+	if n == 0 {
+		p.Block(q)
+		return
+	}
+	recursiveWait(p, q, n-1)
+}

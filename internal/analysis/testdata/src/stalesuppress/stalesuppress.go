@@ -1,0 +1,23 @@
+// Package fixture exercises the stalesuppress meta-rule: directives
+// that no longer suppress a finding are reported (bare, named, unknown
+// rule, and invariant spellings); a directive that still bites is not.
+package fixture
+
+// live: the maporder finding on this range really is suppressed, so
+// the directive is used and must not be reported.
+func live(m map[int]string) int {
+	n := 0
+	// simlint:ignore maporder -- counting entries is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func stale() int {
+	x := 1 + 1 // simlint:ignore -- nothing fires here any more
+	y := x * 2 // simlint:ignore detrand -- the rand call this excused was removed
+	z := y + 1 // simlint:ignore nosuchrule -- typo: no such rule was ever registered
+	// simlint:invariant
+	return z
+}

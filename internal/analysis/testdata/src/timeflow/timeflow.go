@@ -1,0 +1,40 @@
+// Package fixture exercises the timeflow rule: count-valued data
+// (vocabulary-named variables, len results, count-returning calls)
+// must not convert to sim.Time without scaling; the multiplication
+// idiom and time-derived values pass.
+package fixture
+
+import "ufsclust/internal/sim"
+
+const perBlock = 200 * sim.Microsecond
+
+// toSectors returns a sector count; the return-taint summary carries
+// the count through the call in badThroughCall.
+func toSectors(n int64) int64 {
+	return n * 8
+}
+
+func bad(nblocks int64) sim.Time {
+	return sim.Time(nblocks)
+}
+
+func badThroughCall(t sim.Time, n int64) sim.Time {
+	return t + sim.Time(toSectors(n))
+}
+
+func badLen(data []byte) sim.Time {
+	return sim.Time(len(data))
+}
+
+func goodScaled(nblocks int64) sim.Time {
+	return sim.Time(nblocks) * perBlock
+}
+
+func goodTimeDerived(t sim.Time) sim.Time {
+	blocks := int64(t) / 8192 // still time taint: division keeps the left operand
+	return sim.Time(blocks)
+}
+
+func suppressed(n int64) sim.Time {
+	return sim.Time(n) // simlint:ignore timeflow -- n is pre-scaled to tick units upstream
+}

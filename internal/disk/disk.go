@@ -269,6 +269,7 @@ func (d *Disk) IO(p *sim.Proc, r *Request) {
 	done := false
 	var q sim.WaitQ
 	prev := r.Done
+	// simlint:ignore blockpath -- prev is the request's original Done, itself bound by the non-blocking completion contract; the dynamic-call match is conservative
 	r.Done = func() {
 		done = true
 		q.WakeAll()

@@ -99,12 +99,14 @@ func NewInjector(s *sim.Sim, plan Plan) (*Injector, error) {
 }
 
 // AttachTelemetry registers the fault.* counters and subscribes the
-// injector to the event stream. Subscribe it after the JSONL exporter
-// so a crash_cut line appears after the event that triggered it.
+// injector to the event stream. The crash_cut for an event-triggered
+// power cut is deferred behind the triggering event (see Bus.Defer),
+// so subscription order no longer affects the stream.
 func (in *Injector) AttachTelemetry(tel *telemetry.Telemetry) {
 	in.bus = tel.Bus
 	tel.Reg.Counter("fault.media_injected", func() int64 { return in.Stats.MediaInjected })
 	tel.Reg.Counter("fault.cuts", func() int64 { return in.Stats.Cuts })
+	// simlint:ignore buspure -- crash freeze hooks reach into the disk by design: they must capture the torn transfer at cut time, and mutate only the crash image
 	tel.Bus.Subscribe(in.observe)
 }
 
@@ -185,7 +187,11 @@ func (in *Injector) crash(t sim.Time) {
 		fn(t)
 	}
 	in.sim.Stop()
-	in.bus.Emit(telemetry.Event{T: t, Kind: telemetry.EvCrashCut})
+	// Defer, not Emit: event-rule cuts fire from inside the triggering
+	// event's fan-out, and the cut must join the stream behind that
+	// event for every subscriber, not just the ones subscribed after
+	// the injector.
+	in.bus.Defer(telemetry.Event{T: t, Kind: telemetry.EvCrashCut})
 }
 
 // Crashed reports whether a power cut has fired.

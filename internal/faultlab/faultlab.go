@@ -338,7 +338,7 @@ func (sr *SweepResult) Format() string {
 		}
 	}
 	var rest []string
-	for o := range counts { // simlint:ignore maporder -- sorted before use
+	for o := range counts {
 		rest = append(rest, string(o))
 	}
 	sort.Strings(rest)

@@ -158,6 +158,7 @@ func (bc *Bcache) Bread(p *sim.Proc, fsbn int32) (*MBuf, error) {
 		},
 	})
 	for !done {
+		// simlint:ignore blockpath -- waiting for this buffer's own read: b must stay locked until its data lands
 		p.Block(&q)
 	}
 	if ioErr != nil {

@@ -265,16 +265,23 @@ func (fs *Fs) BmapAlloc(p *sim.Proc, ip *Inode, lbn int64, size int) (int32, err
 		return 0, err
 	}
 	l2 := getIndir(b1.Data, rel/nindir)
+	fs.BC.Brelse(b1)
 	if l2 == 0 {
+		// Allocate with the level-1 buffer released: allocMetaBlock
+		// acquires cylinder-group buffers, and holding b1 across that
+		// would pin a locked buffer over an unrelated wait. Re-reading
+		// to install the pointer is a cache hit — b1 was just released,
+		// so it cannot have been the eviction victim — and the inode
+		// lock keeps the slot ours in between.
 		l2, err = fs.allocMetaBlock(p, ip)
 		if err != nil {
-			fs.BC.Brelse(b1)
+			return 0, err
+		}
+		if b1, err = fs.BC.Bread(p, ib1); err != nil {
 			return 0, err
 		}
 		putIndir(b1.Data, rel/nindir, l2)
 		fs.BC.Bdwrite(b1)
-	} else {
-		fs.BC.Brelse(b1)
 	}
 	return fs.allocInIndir(p, ip, l2, rel%nindir, lbn)
 }

@@ -282,20 +282,29 @@ func (fs *Fs) Truncate(p *sim.Proc, ip *Inode, size int64) error {
 		ip.D.IB[0] = 0
 	}
 	if newBlocks <= NDADDR+nindir && ip.D.IB[1] != 0 {
+		// Copy the level-2 pointers out and release the level-1 buffer
+		// before freeing anything: FreeFrags reads cylinder-group
+		// blocks through the cache, and holding b across that sweep
+		// would pin a locked buffer over unrelated waits. The frees
+		// run in the same order as before, so the I/O trace is
+		// unchanged.
 		b, err := fs.BC.Bread(p, ip.D.IB[1])
 		if err != nil {
 			return err
 		}
+		l2s := make([]int32, 0, nindir)
 		for i := int64(0); i < nindir; i++ {
 			if l2 := getIndir(b.Data, i); l2 != 0 {
-				if err := fs.FreeFrags(p, l2, fs.SB.Frag); err != nil {
-					fs.BC.Brelse(b)
-					return err
-				}
-				ip.D.Blocks -= fs.SB.Frag
+				l2s = append(l2s, l2)
 			}
 		}
 		fs.BC.Brelse(b)
+		for _, l2 := range l2s {
+			if err := fs.FreeFrags(p, l2, fs.SB.Frag); err != nil {
+				return err
+			}
+			ip.D.Blocks -= fs.SB.Frag
+		}
 		if err := fs.FreeFrags(p, ip.D.IB[1], fs.SB.Frag); err != nil {
 			return err
 		}

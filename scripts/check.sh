@@ -5,9 +5,15 @@
 #   1. go build ./...                      everything compiles
 #   2. go vet ./...                        stock vet findings
 #   3. simlint ./...                       determinism & simulation-hygiene
-#                                          rules (internal/analysis); the
-#                                          tree must be clean or explicitly
-#                                          annotated
+#                                          rules (internal/analysis), the
+#                                          interprocedural simflow rules
+#                                          (blockpath, buspure, timeflow),
+#                                          and the stalesuppress meta-rule;
+#                                          the tree must be clean or
+#                                          explicitly annotated
+#      simlint internal/analysis/...       self-run: the analyzers eat
+#                                          their own dog food even if the
+#                                          main sweep's patterns change
 #   4. go test ./...                       the full test suite, including
 #                                          the same-seed replay gate and
 #                                          the simlint golden tests
@@ -38,6 +44,9 @@ go vet ./...
 echo "==> simlint ./..."
 go build -o "$tmp/simlint" ./cmd/simlint
 "$tmp/simlint" ./...
+
+echo "==> simlint self-run (internal/analysis/...)"
+"$tmp/simlint" internal/analysis/...
 
 echo "==> go test ./..."
 go test ./...
