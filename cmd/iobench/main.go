@@ -4,14 +4,21 @@
 //
 // Usage:
 //
-//	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-list] [-ratios] [-parallel N]
+//	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-ra fixed] [-list] [-ratios] [-parallel N]
+//	iobench -ramatrix BENCH_iobench.json
 //
 // -parallel runs the (run, kind) matrix on N host workers (0 means
 // GOMAXPROCS). Every cell is an independent deterministic simulation,
 // so the output is byte-identical to the serial run.
+//
+// -ramatrix skips the figures and instead writes the read-ahead policy
+// comparison to the named JSON file: policy × {FSR, FRR, FMX} on run A
+// under memory pressure (file twice physical memory), with transfer
+// rates and the prefetch hit/waste counters.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,14 +28,74 @@ import (
 	"ufsclust/internal/iobench"
 )
 
+// raCell is one matrix entry in the -ramatrix report.
+type raCell struct {
+	Kind    string  `json:"kind"`
+	Policy  string  `json:"policy"`
+	RateKBs float64 `json:"rate_kbs"`
+	RAHits  int64   `json:"ra_hits"`
+	RAWaste int64   `json:"ra_waste"`
+}
+
+// raMatrix writes the policy comparison matrix. The cell parameters
+// mirror the acceptance tests: a 2 MB file against 1 MB of memory, so
+// the steady state has real replacement pressure; pure-random gets
+// enough operations for fixed's accidental trigger matches to show up.
+func raMatrix(path string) error {
+	type cellParams struct {
+		kind iobench.Kind
+		ops  int
+	}
+	cells := []cellParams{{iobench.FSR, 0}, {iobench.FRR, 512}, {iobench.FMX, 16}}
+	policies := []string{"fixed", "adaptive", "off"}
+	report := struct {
+		Run       string         `json:"run"`
+		FileMB    int            `json:"file_mb"`
+		MemMB     int            `json:"mem_mb"`
+		RandomOps map[string]int `json:"random_ops"`
+		Cells     []raCell       `json:"cells"`
+	}{Run: "A", FileMB: 2, MemMB: 1, RandomOps: map[string]int{}}
+	for _, c := range cells {
+		report.RandomOps[string(c.kind)] = c.ops
+		for _, name := range policies {
+			pol, _ := iobench.PolicyFactory(name)
+			prm := iobench.Params{FileMB: report.FileMB, RandomOps: c.ops, MemBytes: int64(report.MemMB) << 20, Policy: pol}
+			res, snap, err := iobench.RunMeasured(ufsclust.RunA(), c.kind, prm)
+			if err != nil {
+				return err
+			}
+			report.Cells = append(report.Cells, raCell{
+				Kind: string(c.kind), Policy: name, RateKBs: res.RateKBs(),
+				RAHits: snap.Get("core.ra_hits"), RAWaste: snap.Get("vm.ra_waste"),
+			})
+		}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
 	fileMB := flag.Int("file", 16, "benchmark file size in MB")
 	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
 	runsFlag := flag.String("runs", "A,B,C,D", "comma-separated run configurations")
+	raFlag := flag.String("ra", "fixed", "read-ahead policy (fixed, adaptive, off)")
+	matrix := flag.String("ramatrix", "", "write the read-ahead policy matrix to this JSON file and exit")
 	list := flag.Bool("list", false, "print Figure 9 (run descriptions) and exit")
 	ratiosOnly := flag.Bool("ratios", false, "print only Figure 11 (ratios)")
 	parallel := flag.Int("parallel", 1, "host workers for the run×kind matrix (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *matrix != "" {
+		if err := raMatrix(*matrix); err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("iobench: wrote %s\n", *matrix)
+		return
+	}
 
 	all := map[string]ufsclust.RunConfig{}
 	for _, rc := range ufsclust.Runs() {
@@ -54,7 +121,12 @@ func main() {
 		return
 	}
 
-	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops}
+	pol, ok := iobench.PolicyFactory(*raFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iobench: unknown read-ahead policy %q\n", *raFlag)
+		os.Exit(2)
+	}
+	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Policy: pol}
 	tab, err := iobench.RunAllParallel(runs, iobench.Kinds(), prm, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iobench: %v\n", err)

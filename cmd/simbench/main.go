@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"ufsclust/internal/prefetch"
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
@@ -60,6 +61,12 @@ type Workloads struct {
 	// instrumented hot path (disk serve, driver strategy) pays when
 	// nobody is listening. The acceptance number is AllocsPerEvent = 0.
 	TelemetryEmit Metrics `json:"telemetry_emit"`
+	// ReadAhead: the adaptive prefetch policy's decision path — Trigger
+	// calls with live Limits over 64 hot files, with periodic collapses
+	// mixed in. Every clustered getpage that reaches the trigger point
+	// pays this; the acceptance number is near-zero allocations per
+	// decision once the per-file detectors exist.
+	ReadAhead Metrics `json:"readahead"`
 }
 
 // Report is the BENCH_sim.json schema.
@@ -101,6 +108,7 @@ func main() {
 	rep.Current.Pingpong = withSwitch(measure(*reps, pingpong(*events)))
 	rep.Current.ParallelScale = measure(*reps, parallelScale(*events))
 	rep.Current.TelemetryEmit = measure(*reps, telemetryEmit(*events))
+	rep.Current.ReadAhead = measure(*reps, readahead(*events))
 
 	if *baseline != "" {
 		if err := attachBaseline(&rep, *baseline); err != nil {
@@ -316,6 +324,26 @@ func telemetryEmit(total int64) func() int64 {
 				Bytes:  8192,
 				Depth:  i & 15,
 			})
+		}
+		return total
+	}
+}
+
+// readahead: the adaptive policy's Trigger path over 64 hot files. The
+// access mix is fixed — four sequential confirmations to one random
+// signal, a collapse every 1024 calls — so the detector map reaches
+// steady state immediately and the number measures pure decision cost.
+func readahead(total int64) func() int64 {
+	return func() int64 {
+		pol := prefetch.NewAdaptive(prefetch.AdaptiveConfig{})
+		lim := prefetch.Limits{ClusterBlocks: 15, BlockBytes: 8192, FreePages: 4096, WriteHeadroom: 1 << 20}
+		for i := int64(0); i < total; i++ {
+			ino := int32(i & 63)
+			if i&1023 == 1023 {
+				pol.Random(ino)
+				continue
+			}
+			pol.Trigger(ino, i%5 != 0, lim)
 		}
 		return total
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	simstat [-run A] [-kind FSR] [-file MB] [-ops N] [-seed N] [-jsonl file]
+//	simstat [-run A] [-kind FSR] [-ra fixed] [-file MB] [-ops N] [-mem MB] [-seed N] [-jsonl file]
 package main
 
 import (
@@ -21,9 +21,11 @@ import (
 
 func main() {
 	runName := flag.String("run", "A", "run configuration (A, B, C, D)")
-	kindFlag := flag.String("kind", "FSR", "I/O type (FSR, FSU, FSW, FRR, FRU)")
+	kindFlag := flag.String("kind", "FSR", "I/O type (FSR, FSU, FSW, FRR, FRU, FMX)")
+	raFlag := flag.String("ra", "fixed", "read-ahead policy (fixed, adaptive, off)")
 	fileMB := flag.Int("file", 16, "benchmark file size in MB")
 	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
+	memMB := flag.Int("mem", 0, "override physical memory in MB (0 = run default)")
 	seed := flag.Int64("seed", 0, "workload RNG seed")
 	jsonl := flag.String("jsonl", "", "write the measured phase's event stream to this file as JSON lines (- for stdout)")
 	flag.Parse()
@@ -41,7 +43,7 @@ func main() {
 	}
 	kind := iobench.Kind(strings.ToUpper(*kindFlag))
 	ok := false
-	for _, k := range iobench.Kinds() {
+	for _, k := range iobench.AllKinds() {
 		if k == kind {
 			ok = true
 		}
@@ -50,8 +52,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simstat: unknown kind %q\n", *kindFlag)
 		os.Exit(2)
 	}
+	pol, ok := iobench.PolicyFactory(*raFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simstat: unknown read-ahead policy %q\n", *raFlag)
+		os.Exit(2)
+	}
 
-	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Seed: *seed}
+	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Seed: *seed, Policy: pol}
+	if *memMB > 0 {
+		prm.MemBytes = int64(*memMB) << 20
+	}
 	if *jsonl == "-" {
 		prm.EventW = os.Stdout
 	} else if *jsonl != "" {
@@ -69,7 +79,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simstat: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("run %s %s, %dMB file: %.0f KB/s over %v (cpu %v)\n\n",
+	fmt.Printf("run %s %s, %dMB file: %.0f KB/s over %v (cpu %v)\n",
 		res.Run, res.Kind, *fileMB, res.RateKBs(), res.Elapsed, res.CPUTime)
+	win := snap.Hist("core.ra_window")
+	fmt.Printf("read-ahead %s: %d triggers, %d hits, %d wasted blocks, mean window %.1f blocks\n\n",
+		*raFlag, snap.Get("core.ra_triggers"), snap.Get("core.ra_hits"),
+		snap.Get("vm.ra_waste"), win.Mean())
 	snap.Format(os.Stdout)
 }

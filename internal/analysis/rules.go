@@ -37,6 +37,10 @@ var modelPkgs = map[string]bool{
 	// fault injection is a bus subscriber executing inside the model's
 	// emission sites; a stray goroutine there would desync replays.
 	modulePath + "/internal/fault": true,
+	// read-ahead policies run inline at getpage's trigger points; their
+	// decisions feed the byte-identical event streams, so they obey the
+	// same determinism rules as the engine that consults them.
+	modulePath + "/internal/prefetch": true,
 }
 
 func isInternal(path string) bool {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ufsclust/internal/cpu"
+	"ufsclust/internal/prefetch"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
@@ -21,6 +22,13 @@ type Config struct {
 	// ReadAhead enables prefetching on detected sequential access (both
 	// engines have it; disabling isolates its effect in ablations).
 	ReadAhead bool
+	// Prefetch selects the clustered engine's read-ahead policy: how
+	// many clusters to issue at each trigger. nil selects the fixed
+	// one-cluster policy (the paper's nextrio behaviour, byte-identical
+	// to the pre-policy engine); prefetch.NewAdaptive gives the
+	// confidence-driven ramping window. The legacy block-at-a-time
+	// engine keeps its hardwired one-block read-ahead regardless.
+	Prefetch prefetch.Policy
 	// FreeBehind releases pages behind large sequential reads when
 	// memory is low, turning LRU into MRU for streaming I/O.
 	FreeBehind bool
@@ -89,6 +97,11 @@ type Stats struct {
 	BmapSkips     int64 // bmap calls avoided by SkipBmapOnHit
 	HintClusters  int64 // random reads clustered via the size hint
 	InodeDataHits int64 // small-file reads served from the inode cache
+	RAHits        int64 // demand accesses satisfied by a read-ahead page
+	RATriggers    int64 // read-ahead trigger points reached
+	RACollapses   int64 // policy collapses on a random seek
+	RAClampMem    int64 // windows reduced by the free-memory clamp
+	RAClampSem    int64 // windows reduced by the write-limit clamp
 }
 
 // InodeDataMax is the size cap for the inode data cache ("many files
@@ -112,6 +125,11 @@ type Engine struct {
 	// (internal/trace) subscribes to it to render the paper's
 	// access-pattern tables from live execution.
 	Bus *telemetry.Bus
+
+	// raWindow distributes the blocks issued per read-ahead trigger
+	// (0 = an armed-but-empty window); nil (and nil-safe) until
+	// AttachTelemetry.
+	raWindow *telemetry.Histogram
 }
 
 // AttachTelemetry registers the engine's counters and connects it to
@@ -136,6 +154,12 @@ func (e *Engine) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("core.bmap_skips", func() int64 { return e.Stats.BmapSkips })
 	r.Counter("core.hint_clusters", func() int64 { return e.Stats.HintClusters })
 	r.Counter("core.inode_data_hits", func() int64 { return e.Stats.InodeDataHits })
+	r.Counter("core.ra_hits", func() int64 { return e.Stats.RAHits })
+	r.Counter("core.ra_triggers", func() int64 { return e.Stats.RATriggers })
+	r.Counter("core.ra_collapses", func() int64 { return e.Stats.RACollapses })
+	r.Counter("core.ra_clamp_mem", func() int64 { return e.Stats.RAClampMem })
+	r.Counter("core.ra_clamp_sem", func() int64 { return e.Stats.RAClampSem })
+	e.raWindow = r.Hist(telemetry.NewHistogram("core.ra_window", telemetry.UnitCount, telemetry.DepthBounds()))
 }
 
 // NewEngine wires up an engine. The cluster size is the superblock's
@@ -160,6 +184,19 @@ func (e *Engine) maxClusterBlocks() int {
 		mc = byPhys
 	}
 	return mc
+}
+
+// fixedPolicy is the default read-ahead policy, shared safely across
+// engines because it is stateless.
+var fixedPolicy = prefetch.NewFixed()
+
+// policy returns the configured read-ahead policy, defaulting to the
+// paper's fixed one-cluster behaviour.
+func (e *Engine) policy() prefetch.Policy {
+	if e.Cfg.Prefetch != nil {
+		return e.Cfg.Prefetch
+	}
+	return fixedPolicy
 }
 
 func (e *Engine) charge(p *sim.Proc, c cpu.Category, instr int64) {
@@ -298,6 +335,7 @@ func (f *File) Purge(p *sim.Proc) error {
 	f.vn.IP.Nextr, f.vn.IP.Nextrio = 0, 0
 	f.vn.seq = false
 	f.vn.inodeData = nil
+	f.eng.policy().Forget(f.vn.IP.Ino)
 	return err
 }
 

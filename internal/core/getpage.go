@@ -3,6 +3,7 @@ package core
 import (
 	"ufsclust/internal/cpu"
 	"ufsclust/internal/driver"
+	"ufsclust/internal/prefetch"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/vm"
@@ -68,6 +69,9 @@ func (e *Engine) getpageLegacy(p *sim.Proc, vn *Vnode, off int64) (*vm.Page, err
 	}
 	if cached {
 		e.Stats.CacheHits++
+		if pg.TakeRA() {
+			e.Stats.RAHits++
+		}
 	} else {
 		pg = e.startRead(p, vn, lbn, fsbn, 1, false)
 	}
@@ -110,6 +114,9 @@ func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks 
 		if pg, ok := e.VM.Lookup(vn, lbn*int64(sb.Bsize)); ok {
 			e.Stats.BmapSkips++
 			e.Stats.CacheHits++
+			if pg.TakeRA() {
+				e.Stats.RAHits++
+			}
 			vn.seq = false
 			pg.WaitUnbusy(p)
 			vn.IP.Nextr = lbn + 1
@@ -131,8 +138,16 @@ func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks 
 	e.charge(p, cpu.PageCache, e.Cfg.Costs.PageLookup)
 	vn.seq = seq
 	pg, cached := e.VM.Lookup(vn, lbn*int64(sb.Bsize))
+	// edge is the first block past what this access is known to cover:
+	// the demand cluster on a miss, just this block on a cache hit. A
+	// loose-triggered window starts here so it never skips uncovered
+	// blocks (the bmap run can reach past what demand actually read).
+	edge := lbn + 1
 	if cached {
 		e.Stats.CacheHits++
+		if pg.TakeRA() {
+			e.Stats.RAHits++
+		}
 	} else {
 		// Demand-read the effective cluster when the access pattern is
 		// sequential; a random miss reads one block ("clustering is
@@ -150,39 +165,139 @@ func (e *Engine) getpageClustered(p *sim.Proc, vn *Vnode, off int64, hintBlocks 
 			}
 		}
 		pg = e.startRead(p, vn, lbn, fsbn, n, false)
+		edge = lbn + int64(n)
 	}
 	if e.Cfg.ReadAhead {
+		// The paper's exact trigger: the demand cluster ends precisely
+		// at the nextrio cursor (or we are at the start of the file).
+		exact := lbn+int64(contig) == vn.IP.Nextrio || (lbn == 0 && vn.IP.Nextrio == 0)
 		switch {
 		case !cached && !seq && lbn != 0:
-			// Random miss: restart the read-ahead window past this
-			// cluster.
+			// Random miss: collapse the policy's window and restart
+			// the read-ahead trigger past this cluster.
+			e.raCollapse(vn, lbn)
 			vn.IP.Nextrio = lbn + int64(contig)
-		case lbn+int64(contig) == vn.IP.Nextrio || (lbn == 0 && vn.IP.Nextrio == 0):
+		case exact || (e.raVerbose() && lbn+int64(contig) > vn.IP.Nextrio):
 			// We are at the start of the last prefetched cluster (or
-			// at the very beginning): prefetch the next cluster. "It
+			// at the very beginning): the read-ahead trigger point.
+			// The policy sizes the window; the engine issues it. "It
 			// remembers where to start the next read ahead by setting
 			// nextrio to the current location plus the size of the
 			// current cluster."
-			start := vn.IP.Nextrio
-			if start == 0 {
-				start = lbn + int64(contig)
-			}
-			if start*int64(sb.Bsize) < vn.IP.D.Size {
-				rfsbn, rcontig, err := e.FS.Bmap(p, vn.IP, start)
-				if max := e.maxClusterBlocks(); rcontig > max {
-					rcontig = max
-				}
-				if err == nil && rfsbn != 0 {
-					e.startRead(p, vn, start, rfsbn, rcontig, true)
-					vn.IP.Nextrio = start + int64(rcontig)
-				}
-			}
+			//
+			// The exact condition has a blind spot on contiguous
+			// layouts: bmap runs are maxcontig long from any offset,
+			// so after a random seek resets the cursor, lbn+contig
+			// sweeps permanently ahead of it and read-ahead stays dead
+			// until the next seek. Non-fixed policies therefore also
+			// fire on the runway form — the demand cluster reaching or
+			// passing the cursor — and their own detector, not cursor
+			// luck, decides whether anything is issued.
+			e.raTrigger(p, vn, lbn, contig, seq, edge, exact)
 		}
 	}
 
 	pg.WaitUnbusy(p)
 	vn.IP.Nextr = lbn + 1
 	return pg, nil
+}
+
+// raVerbose reports whether the configured policy gets its decisions
+// emitted as ra_window events. The fixed default stays silent so
+// default-policy event streams replay the pre-policy fixtures
+// byte-for-byte.
+func (e *Engine) raVerbose() bool {
+	return e.Cfg.Prefetch != nil && e.Cfg.Prefetch.Name() != "fixed"
+}
+
+// raCollapse tells the policy the reader seeked away from the detected
+// stream.
+func (e *Engine) raCollapse(vn *Vnode, lbn int64) {
+	e.Stats.RACollapses++
+	e.policy().Random(vn.IP.Ino)
+	if e.raVerbose() {
+		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvRAWindow, LBN: lbn})
+	}
+}
+
+// raTrigger runs one read-ahead decision at the trigger point: consult
+// the policy with the live resource limits, then issue the granted
+// window cluster by cluster from the nextrio cursor. With the fixed
+// policy this is instruction-for-instruction the paper's one-cluster
+// prefetch. edge is the first block past what the triggering access
+// covered; exact reports which form of the trigger predicate matched.
+func (e *Engine) raTrigger(p *sim.Proc, vn *Vnode, lbn int64, contig int, seq bool, edge int64, exact bool) {
+	sb := e.FS.SB
+	e.Stats.RATriggers++
+	lim := prefetch.Limits{
+		ClusterBlocks: e.maxClusterBlocks(),
+		BlockBytes:    int(sb.Bsize),
+		FreePages:     e.VM.FreeMem(),
+		MemLow:        e.VM.MemoryLow(),
+		WriteHeadroom: -1,
+	}
+	if vn.IP.WriteSem != nil {
+		lim.WriteHeadroom = vn.IP.WriteSem.Value()
+	}
+	dec := e.policy().Trigger(vn.IP.Ino, seq, lim)
+	if dec.ClampedMem {
+		e.Stats.RAClampMem++
+	}
+	if dec.ClampedSem {
+		e.Stats.RAClampSem++
+	}
+
+	// The window starts where the runway ends. An exact-match trigger
+	// uses the paper's formula — the cursor, or the demand cluster's end
+	// at the start of the file — unchanged from the pre-policy engine. A
+	// loose trigger starts at the covered edge instead: the bmap run can
+	// reach past what demand actually read (a cached trigger read
+	// nothing), and starting at lbn+contig there would skip blocks the
+	// reader still needs. The issue walk skips any cached prefix, so a
+	// conservative edge costs lookups, never duplicate I/O.
+	start := vn.IP.Nextrio
+	if exact {
+		if end := lbn + int64(contig); end > start {
+			start = end
+		}
+	} else if edge > start {
+		start = edge
+	}
+	if dec.Clusters == 0 {
+		// Nothing granted (unconfirmed stream, or a non-sequential
+		// access that happened to reach the trigger). Re-arm the cursor
+		// at the runway edge for a confirmed-sequential caller; the
+		// runway predicate keeps the trigger reachable either way. The
+		// fixed policy never grants zero, so this branch never runs for
+		// the default engine.
+		if seq {
+			vn.IP.Nextrio = start
+		}
+		e.raWindow.Observe(0)
+		return
+	}
+	if e.raVerbose() {
+		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvRAWindow,
+			LBN: start, Blocks: int64(dec.Clusters * lim.ClusterBlocks), Depth: int64(dec.Confidence)})
+	}
+	issued := 0
+	for c := 0; c < dec.Clusters; c++ {
+		if start*int64(sb.Bsize) >= vn.IP.D.Size {
+			break
+		}
+		rfsbn, rcontig, err := e.FS.Bmap(p, vn.IP, start)
+		if max := e.maxClusterBlocks(); rcontig > max {
+			rcontig = max
+		}
+		if err != nil || rfsbn == 0 {
+			break
+		}
+		e.startRead(p, vn, start, rfsbn, rcontig, true)
+		start += int64(rcontig)
+		vn.IP.Nextrio = start
+		issued += rcontig
+	}
+	e.raWindow.Observe(int64(issued))
 }
 
 // startRead allocates pages for blocks [lbn, lbn+nblocks) that are not
@@ -193,7 +308,25 @@ func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblock
 	sb := e.FS.SB
 	if async {
 		e.Stats.AsyncReads++
-		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvReadAhead, LBN: lbn, Blocks: int64(nblocks)})
+		// Report only what this prefetch will actually put on the wire:
+		// the walk below skips cached blocks and stops at EOF, so a
+		// read_ahead event sized by the requested span would overstate
+		// the issued I/O. The pre-count uses the side-effect-free cache
+		// peek — the walk's own Lookups (which reclaim and count) are
+		// unchanged. A fully cached span emits nothing.
+		issue := 0
+		for i := 0; i < nblocks; i++ {
+			bl := lbn + int64(i)
+			if sb.BlkSize(vn.IP.D.Size, bl) <= 0 {
+				break
+			}
+			if !e.VM.Cached(vn, bl*int64(sb.Bsize)) {
+				issue++
+			}
+		}
+		if issue > 0 {
+			e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvReadAhead, LBN: lbn, Blocks: int64(issue)})
+		}
 	} else {
 		e.Stats.SyncReads++
 		e.Bus.Emit(telemetry.Event{T: e.Sim.Now(), Kind: telemetry.EvSyncRead, LBN: lbn, Blocks: int64(nblocks)})
@@ -279,6 +412,12 @@ func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblock
 			continue
 		}
 		pg := e.VM.Alloc(p, vn, bl*int64(sb.Bsize))
+		if async {
+			// Tag the page so telemetry can tell a prefetch hit
+			// (TakeRA at the demand sites) from prefetch waste (the
+			// VM counts tagged pages it recycles unreferenced).
+			pg.MarkRA()
+		}
 		if i == 0 {
 			first = pg
 		}

@@ -239,6 +239,9 @@ func (f *File) Write(p *sim.Proc, off int64, data []byte) (int, error) {
 		if cached {
 			page.WaitUnbusy(p)
 			e.Stats.CacheHits++
+			if page.TakeRA() {
+				e.Stats.RAHits++
+			}
 		} else if needOld {
 			page, err = e.GetPage(p, vn, blockStart)
 			if err != nil {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"ufsclust"
+	"ufsclust/internal/prefetch"
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
@@ -21,17 +22,57 @@ import (
 // Kind is one IObench I/O type.
 type Kind string
 
-// The five I/O types of Figure 10.
+// The five I/O types of Figure 10, plus the mixed cell this
+// reproduction adds for the read-ahead policy work.
 const (
 	FSR Kind = "FSR" // sequential read
 	FSU Kind = "FSU" // sequential update
 	FSW Kind = "FSW" // sequential write (fresh allocation)
 	FRR Kind = "FRR" // random read
 	FRU Kind = "FRU" // random update
+
+	// FMX interleaves sequential and random read phases over one file:
+	// the file is streamed in MixedPhases contiguous segments, and after
+	// each segment the reader issues RandomOps/MixedPhases random
+	// two-block bursts anywhere in the file. It is the workload the
+	// paper's pure-sequential/pure-random matrix cannot express — the
+	// one where a fixed always-on prefetch pollutes the random phase and
+	// a fixed-off run starves the sequential phase, so an adaptive
+	// policy must beat both.
+	FMX Kind = "FMX" // mixed sequential/random read
 )
 
 // Kinds returns the paper's column order.
 func Kinds() []Kind { return []Kind{FSR, FSU, FSW, FRR, FRU} }
+
+// AllKinds returns every supported I/O type: the paper's five plus the
+// mixed read cell.
+func AllKinds() []Kind { return []Kind{FSR, FSU, FSW, FRR, FRU, FMX} }
+
+// MixedPhases is the number of sequential/random phase pairs in an FMX
+// run.
+const MixedPhases = 4
+
+// MixedBurstBlocks is the length, in blocks, of one random-phase burst:
+// a short sequential run at a random offset, the record-crossing access
+// shape that baits an eager prefetcher into issuing a full cluster.
+const MixedBurstBlocks = 2
+
+// PolicyFactory maps a command-line policy name to a Params.Policy
+// factory: "fixed" is nil (the run configuration's default), "adaptive"
+// builds a fresh default-tuned adaptive policy per machine, and "off"
+// disables read-ahead. The second result is false for unknown names.
+func PolicyFactory(name string) (func() prefetch.Policy, bool) {
+	switch strings.ToLower(name) {
+	case "fixed", "":
+		return nil, true
+	case "adaptive":
+		return func() prefetch.Policy { return prefetch.NewAdaptive(prefetch.AdaptiveConfig{}) }, true
+	case "off":
+		return func() prefetch.Policy { return prefetch.Off() }, true
+	}
+	return nil, false
+}
 
 // Params sizes a benchmark run. The defaults are the paper's hardware
 // constraints: a 16 MB file (twice physical memory) moved 8 KB at a
@@ -52,6 +93,14 @@ type Params struct {
 	// events as JSON lines (setup I/O is excluded). Same-seed runs
 	// produce byte-identical streams. Single Run only, like TraceW.
 	EventW io.Writer
+
+	// Policy, when non-nil, is called once per machine to build that
+	// machine's read-ahead policy (see ufsclust.WithReadAhead). It is a
+	// factory rather than an instance because policies carry per-file
+	// detector state that must not be shared across machines. nil keeps
+	// the run configuration's default (the paper's fixed one-cluster
+	// read-ahead).
+	Policy func() prefetch.Policy
 }
 
 func (p Params) withDefaults() Params {
@@ -98,9 +147,14 @@ func Run(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, error) {
 // histograms or driver queue depths read them from the snapshot.
 func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetry.Snapshot, error) {
 	prm = prm.withDefaults()
-	m, err := ufsclust.New(rc,
-		ufsclust.WithSeed(prm.Seed+1),
-		ufsclust.WithMemBytes(prm.MemBytes))
+	opts := []ufsclust.Option{
+		ufsclust.WithSeed(prm.Seed + 1),
+		ufsclust.WithMemBytes(prm.MemBytes),
+	}
+	if prm.Policy != nil {
+		opts = append(opts, ufsclust.WithReadAhead(prm.Policy()))
+	}
+	m, err := ufsclust.New(rc, opts...)
 	if err != nil {
 		return Result{}, telemetry.Snapshot{}, err
 	}
@@ -184,6 +238,44 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 				return
 			}
 			res.Bytes = int64(prm.RandomOps) * int64(prm.IOSize)
+		case FMX:
+			// Alternate MixedPhases times between streaming one
+			// contiguous segment of the file and a burst-random phase.
+			// Each burst is MixedBurstBlocks consecutive IOSize reads at
+			// a random block-aligned offset: long enough to look briefly
+			// sequential, short enough that prefetching past it is pure
+			// waste.
+			nblocks := size / int64(prm.IOSize)
+			seg := size / MixedPhases
+			burstsPerPhase := prm.RandomOps / MixedPhases
+			var moved int64
+			for ph := 0; ph < MixedPhases; ph++ {
+				lo := int64(ph) * seg
+				hi := lo + seg
+				if ph == MixedPhases-1 {
+					hi = size
+				}
+				for off := lo; off < hi; off += int64(prm.IOSize) {
+					if _, runErr = f.Read(p, off, chunk); runErr != nil {
+						return
+					}
+					moved += int64(prm.IOSize)
+				}
+				for i := 0; i < burstsPerPhase; i++ {
+					base := rng.Int63n(nblocks) * int64(prm.IOSize)
+					for b := 0; b < MixedBurstBlocks; b++ {
+						off := base + int64(b)*int64(prm.IOSize)
+						if off >= size {
+							break
+						}
+						if _, runErr = f.Read(p, off, chunk); runErr != nil {
+							return
+						}
+						moved += int64(prm.IOSize)
+					}
+				}
+			}
+			res.Bytes = moved
 		default:
 			runErr = fmt.Errorf("iobench: unknown kind %q", kind)
 			return

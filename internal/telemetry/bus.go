@@ -28,6 +28,12 @@ type EventKind uint8
 //	EvIORetry     the driver rescheduled a failed transfer
 //	EvIOGiveup    the driver exhausted its retries for a transfer
 //	EvCrashCut    the fault injector power-cut the machine
+//	EvRAWindow    a read-ahead policy decision: LBN is the window start,
+//	              Blocks the post-clamp window size in blocks (0 on a
+//	              collapse or an unconfirmed trigger), Depth the
+//	              detector's sequentiality confidence. Emitted only by
+//	              non-fixed policies, so default-policy streams replay
+//	              the pre-policy fixtures byte-for-byte.
 //
 // New kinds are appended, never inserted: the wire names below are part
 // of the JSONL stream format that committed golden fixtures replay.
@@ -45,13 +51,14 @@ const (
 	EvIORetry
 	EvIOGiveup
 	EvCrashCut
+	EvRAWindow
 	numEventKinds
 )
 
 var kindNames = [numEventKinds]string{
 	"io_queue", "io_start", "io_done", "sync_read", "read_ahead",
 	"write_lie", "cluster_push", "free_behind", "pageout_scan",
-	"fault_inject", "io_retry", "io_giveup", "crash_cut",
+	"fault_inject", "io_retry", "io_giveup", "crash_cut", "ra_window",
 }
 
 // String returns the kind's snake_case wire name.

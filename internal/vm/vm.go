@@ -43,6 +43,7 @@ type Page struct {
 	busy   bool // locked for I/O or fault handling
 	ref    bool // reference bit (clock hand 1 clears, hand 2 tests)
 	onFree bool
+	ra     bool // brought in by read-ahead, not yet demanded
 
 	wanted sim.WaitQ
 }
@@ -84,6 +85,20 @@ func (pg *Page) WaitUnbusy(p *sim.Proc) {
 // sweep.
 func (pg *Page) Touch() { pg.ref = true }
 
+// MarkRA tags the page as brought in by read-ahead. The tag survives
+// until the first demand access claims it (TakeRA) or the page is
+// recycled unreferenced, which counts as prefetch waste.
+func (pg *Page) MarkRA() { pg.ra = true }
+
+// TakeRA consumes the read-ahead tag: it reports whether the page was a
+// not-yet-demanded prefetch, and clears the tag so each prefetched page
+// is counted as a hit at most once.
+func (pg *Page) TakeRA() bool {
+	was := pg.ra
+	pg.ra = false
+	return was
+}
+
 type key struct {
 	obj Object
 	off int64
@@ -102,6 +117,7 @@ type Stats struct {
 	Scans      int64 // pages examined by the clock
 	DaemonRuns int64
 	MemWaits   int64 // allocations that had to sleep for memory
+	RAWaste    int64 // read-ahead pages recycled without a demand access
 }
 
 // Config sizes the VM system.
@@ -159,6 +175,7 @@ func (v *VM) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("vm.scans", func() int64 { return v.Stats.Scans })
 	r.Counter("vm.daemon_runs", func() int64 { return v.Stats.DaemonRuns })
 	r.Counter("vm.mem_waits", func() int64 { return v.Stats.MemWaits })
+	r.Counter("vm.ra_waste", func() int64 { return v.Stats.RAWaste })
 	r.Gauge("vm.free_pages", func() int64 { return int64(len(v.free)) })
 }
 
@@ -242,6 +259,15 @@ func (v *VM) Lookup(obj Object, off int64) (*Page, bool) {
 	return pg, true
 }
 
+// Cached reports whether the page <obj, off> is present in the cache
+// (active or resting on the free list) without perturbing any state: no
+// stats, no reclaim, no reference bit. startRead uses it to size its
+// read-ahead accounting before issuing.
+func (v *VM) Cached(obj Object, off int64) bool {
+	_, ok := v.hash[key{obj, off}]
+	return ok
+}
+
 // Alloc takes a free page, names it <obj, off>, and returns it busy (the
 // caller is expected to fill it). It blocks while no memory is free,
 // waking the pageout daemon. The page must not already be cached.
@@ -269,6 +295,12 @@ func (v *VM) Alloc(p *sim.Proc, obj Object, off int64) *Page {
 	if pg.Obj != nil {
 		delete(v.hash, key{pg.Obj, pg.Off})
 		v.Stats.Steals++
+	}
+	if pg.ra {
+		// A read-ahead page recycled before any demand access: the
+		// prefetch that brought it in was pure waste.
+		v.Stats.RAWaste++
+		pg.ra = false
 	}
 	pg.Obj, pg.Off = obj, off
 	pg.dirty, pg.ref = false, true
@@ -312,6 +344,10 @@ func (v *VM) Destroy(pg *Page) {
 	if pg.Obj != nil {
 		delete(v.hash, key{pg.Obj, pg.Off})
 		pg.Obj = nil
+	}
+	if pg.ra {
+		v.Stats.RAWaste++
+		pg.ra = false
 	}
 	pg.dirty = false
 	if !pg.onFree {

@@ -7,6 +7,7 @@ import (
 	"ufsclust/internal/disk"
 	"ufsclust/internal/driver"
 	"ufsclust/internal/fault"
+	"ufsclust/internal/prefetch"
 	"ufsclust/internal/ufs"
 )
 
@@ -63,6 +64,23 @@ func WithWriteLimit(bytes int64) Option {
 // WithFreeBehind overrides the RunConfig's free-behind setting.
 func WithFreeBehind(on bool) Option {
 	return func(o *Options) { o.Engine.FreeBehind = on }
+}
+
+// WithReadAhead selects the clustered engine's read-ahead policy:
+//
+//	WithReadAhead(prefetch.NewFixed())                       // the paper's one-cluster nextrio (the default)
+//	WithReadAhead(prefetch.NewAdaptive(prefetch.AdaptiveConfig{})) // confidence-driven ramping window
+//	WithReadAhead(prefetch.Off())                            // no read-ahead at all
+//
+// Policies carry per-file detector state, so build a fresh policy per
+// machine — never share one instance across machines (inode numbers
+// collide). The default fixed policy is byte-identical to the pre-policy
+// engine: same events, same trace, same goldens.
+func WithReadAhead(pol prefetch.Policy) Option {
+	return func(o *Options) {
+		o.Engine.Prefetch = pol
+		o.Engine.ReadAhead = pol != nil
+	}
 }
 
 // WithTelemetry streams every telemetry event to w as JSON Lines.

@@ -3,8 +3,12 @@
 #
 # Builds cmd/simbench and measures the kernel's host cost (events/sec,
 # allocs/event, context-switch and ping-pong latency, parallel-runner
-# scaling, and the telemetry bus's zero-subscriber Emit overhead),
-# writing the report to BENCH_sim.json at the repo root.
+# scaling, the telemetry bus's zero-subscriber Emit overhead, and the
+# adaptive read-ahead policy's decision cost), writing the report to
+# BENCH_sim.json at the repo root. Then builds cmd/iobench and writes
+# the read-ahead policy comparison matrix (policy x {FSR, FRR, FMX}
+# under memory pressure, simulated throughput and prefetch hit/waste
+# counters) to BENCH_iobench.json.
 #
 # If a BENCH_sim.json already exists, its recorded baseline (the
 # pre-fast-path kernel, measured interleaved against the new one when
@@ -37,3 +41,11 @@ echo "==> simbench"
 
 mv "$tmp/BENCH_sim.json" BENCH_sim.json
 echo "bench: wrote BENCH_sim.json"
+
+echo "==> go build ./cmd/iobench"
+go build -o "$tmp/iobench" ./cmd/iobench
+
+echo "==> iobench -ramatrix"
+"$tmp/iobench" -ramatrix "$tmp/BENCH_iobench.json"
+mv "$tmp/BENCH_iobench.json" BENCH_iobench.json
+echo "bench: wrote BENCH_iobench.json"

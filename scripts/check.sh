@@ -23,6 +23,10 @@
 #                                          subscribers run on hot paths)
 #      go test -race ./internal/fault/...  (injector runs inline on the
 #                                          bus, in parallel sweeps)
+#      go test -race ./internal/prefetch/...  (policies are shared across
+#                                          parallel iobench cells only by
+#                                          mistake; the race run proves a
+#                                          per-machine policy never is)
 #   6. faultlab smoke sweep                8 crash points over a 2 MB
 #                                          write; exits nonzero on any
 #                                          crash-consistency violation
@@ -62,6 +66,9 @@ go test -race ./internal/telemetry/...
 
 echo "==> go test -race ./internal/fault/..."
 go test -race ./internal/fault/...
+
+echo "==> go test -race ./internal/prefetch/..."
+go test -race ./internal/prefetch/...
 
 echo "==> faultlab smoke sweep"
 go build -o "$tmp/faultlab" ./cmd/faultlab
