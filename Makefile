@@ -3,7 +3,7 @@
 # `make check` is the extended tier-1 gate (build + vet + simlint +
 # tests + race on the sim kernel); see scripts/check.sh and ROADMAP.md.
 
-.PHONY: all build test lint race check bench
+.PHONY: all build test lint race check bench cover
 
 all: check
 
@@ -27,3 +27,10 @@ check:
 # (the committed baseline is carried forward; see scripts/bench.sh).
 bench:
 	scripts/bench.sh
+
+# cover writes a whole-tree coverage profile and prints the per-function
+# summary tail plus the total.
+cover:
+	go test -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -n 1
+	@echo "cover: wrote coverage.out (go tool cover -html=coverage.out to browse)"

@@ -7,6 +7,17 @@
 // Usage:
 //
 //	faultlab [-run A] [-file MB] [-fsync BYTES] [-cuts N] [-parallel N] [-seed S]
+//	         [-vol LEVEL] [-members N] [-stripe KB] [-degraded I,J]
+//	faultlab -vol raid1 -members 2 -losemember 1
+//
+// With -vol the workload runs on a composed volume (concat, raid0,
+// raid1, raid5) instead of the single drive; -degraded boots it with
+// the listed members already dead, so the sweep proves the durability
+// contract holds on a degraded array. -losemember skips the cut sweep
+// and instead runs the spindle-loss round trip: build the file, arm a
+// hard media fault on that member's first read, and verify a redundant
+// volume serves every byte (then rebuilds), while a stripe set reports
+// the loss.
 //
 // Exit status is 1 if any cut produces a crash-consistency violation
 // (lost acknowledged data, corrupt bytes, or a dirty post-repair check).
@@ -20,6 +31,7 @@ import (
 
 	"ufsclust"
 	"ufsclust/internal/faultlab"
+	"ufsclust/internal/vol"
 )
 
 func main() {
@@ -29,6 +41,11 @@ func main() {
 	cuts := flag.Int("cuts", 50, "number of evenly spaced crash points")
 	parallel := flag.Int("parallel", 0, "host workers (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 42, "workload seed (pattern + sim)")
+	volLevel := flag.String("vol", "", "run on a volume: concat, raid0|stripe, raid1|mirror, raid5")
+	members := flag.Int("members", 0, "volume member count (default per level)")
+	stripe := flag.Int("stripe", 0, "stripe unit in KB for raid0/raid5 (default 32)")
+	degraded := flag.String("degraded", "", "comma-separated members dead from boot (redundant levels)")
+	loseMember := flag.Int("losemember", -1, "run the spindle-loss round trip against this member instead of the cut sweep")
 	flag.Parse()
 
 	var rc ufsclust.RunConfig
@@ -44,6 +61,57 @@ func main() {
 	}
 
 	w := faultlab.Workload{RC: rc, FileMB: *fileMB, FsyncEvery: *fsync, Seed: *seed}
+	if *volLevel != "" {
+		lvl, ok := vol.ParseLevel(*volLevel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faultlab: unknown volume level %q\n", *volLevel)
+			os.Exit(2)
+		}
+		cfg := vol.Config{Level: lvl, Members: *members, StripeKB: *stripe}
+		if cfg.Members == 0 {
+			switch lvl {
+			case vol.RAID5:
+				cfg.Members = 3
+			case vol.Concat:
+				cfg.Members = 1
+			default:
+				cfg.Members = 2
+			}
+		}
+		if *degraded != "" {
+			for _, s := range strings.Split(*degraded, ",") {
+				var i int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &i); err != nil {
+					fmt.Fprintf(os.Stderr, "faultlab: bad -degraded member %q\n", s)
+					os.Exit(2)
+				}
+				cfg.Degraded = append(cfg.Degraded, i)
+			}
+		}
+		w.Volume = &cfg
+	}
+
+	if *loseMember >= 0 {
+		if w.Volume == nil {
+			fmt.Fprintln(os.Stderr, "faultlab: -losemember needs -vol")
+			os.Exit(2)
+		}
+		rep, err := faultlab.RunDegradedMember(w, *loseMember)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultlab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("spindle loss sd%d on %s x%d: %s (member failed %v, rebuilt %v)\n",
+			rep.Member, w.Volume.Level, w.Volume.Members, rep.Outcome, rep.Failed, rep.Rebuilt)
+		if rep.Detail != "" {
+			fmt.Printf("  %s\n", rep.Detail)
+		}
+		if rep.Outcome.Violation() && w.Volume.Level != vol.Concat && w.Volume.Level != vol.RAID0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	sr, err := faultlab.Sweep(w, *cuts, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultlab: %v\n", err)

@@ -6,6 +6,7 @@
 //
 //	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-ra fixed] [-list] [-ratios] [-parallel N]
 //	iobench -ramatrix BENCH_iobench.json
+//	iobench -volmatrix BENCH_iobench.json
 //
 // -parallel runs the (run, kind) matrix on N host workers (0 means
 // GOMAXPROCS). Every cell is an independent deterministic simulation,
@@ -15,6 +16,13 @@
 // comparison to the named JSON file: policy × {FSR, FRR, FMX} on run A
 // under memory pressure (file twice physical memory), with transfer
 // rates and the prefetch hit/waste counters.
+//
+// -volmatrix likewise writes the volume-layer comparison: cluster size
+// (run A's 120 KB against run B's 8 KB) × RAID level × stripe width,
+// sequential write and read rates plus the parity path counters. Both
+// matrix flags merge their section into the same JSON report file
+// ({"ramatrix": ..., "volmatrix": ...}), so bench.sh can refresh them
+// independently.
 package main
 
 import (
@@ -26,7 +34,35 @@ import (
 
 	"ufsclust"
 	"ufsclust/internal/iobench"
+	"ufsclust/internal/vol"
 )
+
+// writeSection merges one named section into the JSON report at path,
+// preserving the other sections already there (a legacy flat report is
+// discarded: it carries no section keys worth keeping).
+func writeSection(path, key string, section any) error {
+	full := map[string]json.RawMessage{}
+	if b, err := os.ReadFile(path); err == nil {
+		var old map[string]json.RawMessage
+		if json.Unmarshal(b, &old) == nil {
+			for _, k := range []string{"ramatrix", "volmatrix"} {
+				if v, ok := old[k]; ok {
+					full[k] = v
+				}
+			}
+		}
+	}
+	raw, err := json.Marshal(section)
+	if err != nil {
+		return err
+	}
+	full[key] = raw
+	out, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
 
 // raCell is one matrix entry in the -ramatrix report.
 type raCell struct {
@@ -70,11 +106,69 @@ func raMatrix(path string) error {
 			})
 		}
 	}
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
+	return writeSection(path, "ramatrix", report)
+}
+
+// volCell is one matrix entry in the -volmatrix report.
+type volCell struct {
+	Run              string  `json:"run"`
+	Level            string  `json:"level"`
+	Members          int     `json:"members"`
+	StripeKB         int     `json:"stripe_kb,omitempty"`
+	Kind             string  `json:"kind"`
+	RateKBs          float64 `json:"rate_kbs"`
+	SubRequests      int64   `json:"sub_requests"`
+	FullStripeWrites int64   `json:"full_stripe_writes,omitempty"`
+	ParityRMWRows    int64   `json:"parity_rmw_rows,omitempty"`
+}
+
+// volMatrix writes the volume comparison: for each cluster size (run A
+// clusters at 120 KB, run B at 8 KB with rotdelay), each level, and —
+// on the striped levels — each stripe width, the sequential write and
+// read rates. The single-spindle concat row is the baseline; the
+// parity counters show how much of RAID-5's write traffic ran the
+// full-stripe fast path versus read-modify-write, which is the whole
+// performance story of striping under a clustering file system.
+func volMatrix(path string, fileMB int) error {
+	type shape struct {
+		cfg     vol.Config
+		stripes []int
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	shapes := []shape{
+		{vol.Config{Level: vol.Concat, Members: 1}, []int{0}},
+		{vol.Config{Level: vol.RAID0, Members: 3}, []int{16, 32, 64}},
+		{vol.Config{Level: vol.RAID1, Members: 2}, []int{0}},
+		{vol.Config{Level: vol.RAID5, Members: 4}, []int{16, 32, 64}},
+	}
+	report := struct {
+		FileMB int       `json:"file_mb"`
+		Kinds  []string  `json:"kinds"`
+		Cells  []volCell `json:"cells"`
+	}{FileMB: fileMB, Kinds: []string{string(iobench.FSW), string(iobench.FSR)}}
+	for _, rc := range []ufsclust.RunConfig{ufsclust.RunA(), ufsclust.RunB()} {
+		for _, sh := range shapes {
+			for _, st := range sh.stripes {
+				cfg := sh.cfg
+				cfg.StripeKB = st
+				for _, kind := range []iobench.Kind{iobench.FSW, iobench.FSR} {
+					prm := iobench.Params{FileMB: fileMB, Volume: &cfg}
+					res, snap, err := iobench.RunMeasured(rc, kind, prm)
+					if err != nil {
+						return fmt.Errorf("%s %s x%d stripe %dK %s: %w",
+							rc.Name, cfg.Level, cfg.Members, st, kind, err)
+					}
+					report.Cells = append(report.Cells, volCell{
+						Run: rc.Name, Level: cfg.Level.String(), Members: cfg.Members,
+						StripeKB: st, Kind: string(kind), RateKBs: res.RateKBs(),
+						SubRequests:      snap.Get("vol.sub_requests"),
+						FullStripeWrites: snap.Get("vol.full_stripe_writes"),
+						ParityRMWRows:    snap.Get("vol.parity_rmw_rows"),
+					})
+				}
+			}
+		}
+	}
+	return writeSection(path, "volmatrix", report)
 }
 
 func main() {
@@ -83,6 +177,7 @@ func main() {
 	runsFlag := flag.String("runs", "A,B,C,D", "comma-separated run configurations")
 	raFlag := flag.String("ra", "fixed", "read-ahead policy (fixed, adaptive, off)")
 	matrix := flag.String("ramatrix", "", "write the read-ahead policy matrix to this JSON file and exit")
+	volmat := flag.String("volmatrix", "", "write the volume (RAID level x stripe) matrix to this JSON file and exit")
 	list := flag.Bool("list", false, "print Figure 9 (run descriptions) and exit")
 	ratiosOnly := flag.Bool("ratios", false, "print only Figure 11 (ratios)")
 	parallel := flag.Int("parallel", 1, "host workers for the run×kind matrix (0 = GOMAXPROCS)")
@@ -94,6 +189,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("iobench: wrote %s\n", *matrix)
+		if *volmat == "" {
+			return
+		}
+	}
+	if *volmat != "" {
+		if err := volMatrix(*volmat, 2); err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("iobench: wrote %s\n", *volmat)
 		return
 	}
 

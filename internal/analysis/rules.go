@@ -41,6 +41,10 @@ var modelPkgs = map[string]bool{
 	// decisions feed the byte-identical event streams, so they obey the
 	// same determinism rules as the engine that consults them.
 	modulePath + "/internal/prefetch": true,
+	// the volume layer translates requests and chains parity RMW phases
+	// in completion context between the driver and the member drives —
+	// squarely on the model's hot path.
+	modulePath + "/internal/vol": true,
 }
 
 func isInternal(path string) bool {
@@ -81,5 +85,6 @@ func SimScope(path string) bool { return simScope(path) }
 func ToolingPackage(path string) bool { return toolingPkgs[path] }
 
 // ModelPackage reports whether path is one of the simulation-model
-// packages (core, ufs, vm, disk, driver, extfs, telemetry, fault).
+// packages (core, ufs, vm, disk, driver, extfs, telemetry, fault,
+// prefetch, vol).
 func ModelPackage(path string) bool { return modelPkgs[path] }

@@ -14,6 +14,34 @@ import (
 // are exhausted; errors.Is(err, disk.ErrMedia) sees through the wrap.
 var ErrMedia = errors.New("disk: media error")
 
+// Device is the block-device contract shared by a bare Disk and an
+// internal/vol volume composing several. The driver drives one Device;
+// the offline tools (mkfs, fsck, repair) address its image through the
+// same sector space the driver submits against.
+type Device interface {
+	// Name identifies the device ("sd0", "vol0").
+	Name() string
+	// Geom describes the device's addressable geometry. For a volume it
+	// is synthetic: a uniform single-zone drive of the composed data
+	// capacity, so file-system layout code works unchanged.
+	Geom() *Geometry
+	// Submit queues one request; completion is delivered through
+	// Request.Done in scheduler context. Safe from process or scheduler
+	// context.
+	Submit(r *Request)
+	// Channels is how many requests the device can usefully service at
+	// once: 1 for a single spindle, the member count for a volume. The
+	// driver keeps up to this many requests in flight so member seeks
+	// overlap.
+	Channels() int
+	// ReadImage / WriteImage access the platter content without
+	// consuming simulated time — the offline path. A volume translates
+	// addresses and maintains redundancy (mirrors, parity) on offline
+	// writes too.
+	ReadImage(sector int64, buf []byte)
+	WriteImage(sector int64, data []byte)
+}
+
 // Params are the mechanical and electronic characteristics of a drive.
 type Params struct {
 	Geom *Geometry
@@ -122,9 +150,10 @@ func (st *Stats) BytesMoved() int64 {
 // Disk is a simulated drive. Submit requests with Submit; a dedicated
 // simulation process services them one at a time.
 type Disk struct {
-	P    Params
-	Sim  *sim.Sim
-	name string
+	P     Params
+	Sim   *sim.Sim
+	name  string
+	label string // member tag on emitted events; empty for a bare drive
 
 	// mechanical state
 	curCyl   int
@@ -175,6 +204,15 @@ func New(s *sim.Sim, name string, p Params) *Disk {
 // Name returns the drive's name.
 func (d *Disk) Name() string { return d.name }
 
+// Channels reports a single spindle: one request in service at a time.
+func (d *Disk) Channels() int { return 1 }
+
+// SetEventLabel tags every event this drive emits with a member label
+// (telemetry.Event.Dev). Volumes label their members so fault plans and
+// event consumers can tell spindles apart; a bare drive stays unlabeled
+// and replays the pre-volume golden streams byte-for-byte.
+func (d *Disk) SetEventLabel(label string) { d.label = label }
+
 // AttachTelemetry registers the drive's counters and latency
 // histograms and connects it to the event bus. Call once, at machine
 // construction, before any I/O.
@@ -200,6 +238,16 @@ func (d *Disk) AttachTelemetry(tel *telemetry.Telemetry) {
 	d.rotH = r.Hist(telemetry.NewHistogram("disk.rotate_ns", telemetry.UnitNs, telemetry.TimeBounds()))
 	d.xferH = r.Hist(telemetry.NewHistogram("disk.transfer_ns", telemetry.UnitNs, telemetry.TimeBounds()))
 	d.svcH = r.Hist(telemetry.NewHistogram("disk.service_ns", telemetry.UnitNs, telemetry.TimeBounds()))
+}
+
+// AttachMemberTelemetry connects a volume member to the machine's event
+// bus and to a shared set of latency histograms (one set per volume
+// under the standard disk.* names, aggregating all spindles). The
+// volume registers the member's counters itself, under per-member
+// names; the member only emits and observes.
+func (d *Disk) AttachMemberTelemetry(bus *telemetry.Bus, seekH, rotH, xferH, svcH *telemetry.Histogram) {
+	d.bus = bus
+	d.seekH, d.rotH, d.xferH, d.svcH = seekH, rotH, xferH, svcH
 }
 
 // AttachFaults connects a fault injector: the drive consults it after
@@ -302,6 +350,7 @@ func (d *Disk) serve(p *sim.Proc) {
 			Bytes:  int64(r.Count) * SectorSize,
 			Depth:  int64(len(d.q)),
 			Write:  r.Write,
+			Dev:    d.label,
 		})
 		// The injector's subscriber ran inside the Emit above, so a
 		// media fault anchored on that io_start is armed by now.
@@ -313,6 +362,7 @@ func (d *Disk) serve(p *sim.Proc) {
 				Sector: r.Sector,
 				Bytes:  int64(r.Count) * SectorSize,
 				Write:  r.Write,
+				Dev:    d.label,
 			})
 			d.failService(p)
 			r.Err = ErrMedia

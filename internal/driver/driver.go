@@ -129,16 +129,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// Driver glues the file system to one drive.
+// Driver glues the file system to one block device — a bare drive or a
+// volume. It keeps up to Disk.Channels() requests in flight at once, so
+// a multi-spindle volume overlaps member seeks; a single drive reports
+// one channel and gets the classic one-request-at-the-device behaviour.
 type Driver struct {
 	Cfg  Config
-	Disk *disk.Disk
+	Disk disk.Device
 	CPU  *cpu.Model // may be nil
 	Sim  *sim.Sim
 
-	queue  []*Buf // pending, in issue order (disksort-maintained)
-	active bool
-	headAt int64 // last issued block, the elevator position
+	queue    []*Buf // pending, in issue order (disksort-maintained)
+	inflight int    // requests issued and not yet completed
+	barrier  bool   // a B_ORDER request is in flight; issue nothing past it
+	headAt   int64  // last issued block, the elevator position
 
 	Stats Stats
 
@@ -168,7 +172,7 @@ func (dr *Driver) AttachTelemetry(tel *telemetry.Telemetry) {
 }
 
 // New returns a driver for d. cpuModel may be nil for untimed tests.
-func New(s *sim.Sim, d *disk.Disk, cpuModel *cpu.Model, cfg Config) *Driver {
+func New(s *sim.Sim, d disk.Device, cpuModel *cpu.Model, cfg Config) *Driver {
 	if cfg.MaxPhys == 0 {
 		cfg.MaxPhys = DefaultMaxPhys
 	}
@@ -332,28 +336,38 @@ func (dr *Driver) merge(lo, hi *Buf) *Buf {
 	return m
 }
 
-// start issues the head request if the drive is idle.
+// start issues queued requests while the device has a free channel. A
+// single drive has one channel, so at most one request is outstanding
+// (the classic strategy/interrupt cycle); a volume has one per member,
+// letting the elevator keep every spindle seeking at once. A B_ORDER
+// barrier is never issued alongside other requests: it waits for the
+// device to drain, and nothing is issued past it while it runs.
 func (dr *Driver) start() {
-	if dr.active || len(dr.queue) == 0 {
-		return
+	for !dr.barrier && len(dr.queue) > 0 && dr.inflight < dr.Disk.Channels() {
+		b := dr.queue[0]
+		if b.Order && dr.inflight > 0 {
+			return // barrier: drain the device first
+		}
+		copy(dr.queue, dr.queue[1:])
+		dr.queue = dr.queue[:len(dr.queue)-1]
+		dr.inflight++
+		dr.headAt = b.Blkno
+		dr.Stats.Issued++
+		dr.Stats.QueueWait += dr.Sim.Now() - b.queuedAt
+		dr.depthH.Observe(int64(len(dr.queue)))
+		dr.xferH.Observe(int64(b.Sectors()))
+		req := &disk.Request{
+			Sector: b.Blkno,
+			Count:  b.Sectors(),
+			Write:  b.Write,
+			Data:   b.Data,
+		}
+		req.Done = func() { dr.complete(b, req.Err) }
+		if b.Order {
+			dr.barrier = true // nothing passes until it completes
+		}
+		dr.Disk.Submit(req)
 	}
-	b := dr.queue[0]
-	copy(dr.queue, dr.queue[1:])
-	dr.queue = dr.queue[:len(dr.queue)-1]
-	dr.active = true
-	dr.headAt = b.Blkno
-	dr.Stats.Issued++
-	dr.Stats.QueueWait += dr.Sim.Now() - b.queuedAt
-	dr.depthH.Observe(int64(len(dr.queue)))
-	dr.xferH.Observe(int64(b.Sectors()))
-	req := &disk.Request{
-		Sector: b.Blkno,
-		Count:  b.Sectors(),
-		Write:  b.Write,
-		Data:   b.Data,
-	}
-	req.Done = func() { dr.complete(b, req.Err) }
-	dr.Disk.Submit(req)
 }
 
 // complete runs in scheduler context: charge the interrupt, retry or
@@ -363,7 +377,10 @@ func (dr *Driver) complete(b *Buf, devErr error) {
 	if dr.CPU != nil {
 		dr.CPU.ChargeInterrupt(cpu.Interrupt, dr.Cfg.InterruptInstr)
 	}
-	dr.active = false
+	dr.inflight--
+	if b.Order {
+		dr.barrier = false
+	}
 	if devErr != nil && b.attempts < dr.Cfg.MaxRetries {
 		// Transient-error path: back off (doubling per attempt), then
 		// reissue at the head of the queue. The drive is released in

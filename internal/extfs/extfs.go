@@ -87,7 +87,7 @@ type Fs struct {
 }
 
 // Mkfs formats the disk image for extfs (offline).
-func Mkfs(d *disk.Disk) error {
+func Mkfs(d disk.Device) error {
 	total := d.Geom().TotalBytes() / BlockSize
 	meta := int64(1 + (NFiles*int64(binary.Size(inode{}))+BlockSize-1)/BlockSize)
 	sb := super{Magic: Magic, TotalBlocks: int32(total), DataStart: int32(meta)}

@@ -24,8 +24,9 @@ type ruleState struct {
 	latched bool  // media rule armed on a transfer identity
 	sector  int64
 	write   bool
-	fails   int  // failed attempts delivered so far
-	done    bool // rule exhausted
+	dev     string // member device of the latched transfer
+	fails   int    // failed attempts delivered so far
+	done    bool   // rule exhausted
 }
 
 func (rs *ruleState) match(ev telemetry.Event) bool {
@@ -34,6 +35,9 @@ func (rs *ruleState) match(ev telemetry.Event) bool {
 		return false
 	}
 	if m.After > 0 && ev.T < m.After {
+		return false
+	}
+	if m.Dev != "" && ev.Dev != m.Dev {
 		return false
 	}
 	switch m.RW {
@@ -130,14 +134,17 @@ func (in *Injector) observe(ev telemetry.Event) {
 		case MediaTransient, MediaHard:
 			if rs.latched {
 				// A retry of the latched transfer is starting: keep
-				// failing it until the budget runs out.
-				if ev.Kind == telemetry.EvIOStart && ev.Sector == rs.sector && ev.Write == rs.write {
+				// failing it until the budget runs out. The member
+				// label is part of the transfer's identity: a volume
+				// reissuing the same member-local sector on another
+				// spindle (mirror failover) must not re-trip the rule.
+				if ev.Kind == telemetry.EvIOStart && ev.Sector == rs.sector && ev.Write == rs.write && ev.Dev == rs.dev {
 					in.pending = rs
 				}
 				continue
 			}
 			if rs.match(ev) {
-				rs.latched, rs.sector, rs.write = true, ev.Sector, ev.Write
+				rs.latched, rs.sector, rs.write, rs.dev = true, ev.Sector, ev.Write, ev.Dev
 				in.pending = rs
 			}
 		case PowerCut:

@@ -72,7 +72,14 @@ type Match struct {
 	// SectorLo/SectorHi restrict the match to events whose Sector lies
 	// in [SectorLo, SectorHi]. SectorHi == 0 disables the filter. Use
 	// disk geometry / ufs layout helpers to aim at a cylinder group.
+	// On a volume machine the Sector of a member's io_start is
+	// member-local; combine with Dev to aim at a spindle region.
 	SectorLo, SectorHi int64
+
+	// Dev restricts the match to events tagged with this member device
+	// label ("sd1" — see internal/vol). Empty matches any device,
+	// including the unlabeled bare drive.
+	Dev string
 
 	// After ignores events before this simulated time.
 	After sim.Time

@@ -18,7 +18,9 @@ import (
 	"ufsclust/internal/fault"
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
+	"ufsclust/internal/vol"
 )
 
 // Workload is a sequential create-write-fsync job, the write cell of
@@ -33,6 +35,26 @@ type Workload struct {
 	Seed       int64 // machine seed
 	MemBytes   int64 // machine memory; 0 = the paper's 8 MB
 	Path       string
+
+	// Volume, when non-nil, runs the workload on a composed volume
+	// (internal/vol) instead of the single drive — including degraded
+	// configurations (Volume.Degraded), so a cut sweep can prove the
+	// durability contract holds with a spindle already dead.
+	Volume *vol.Config
+}
+
+// options assembles the machine options shared by every boot of this
+// workload (seedOff keeps the builder, crash, and recovery machines on
+// distinct seeds).
+func (w Workload) options(seedOff int64, extra ...ufsclust.Option) []ufsclust.Option {
+	opts := []ufsclust.Option{
+		ufsclust.WithSeed(w.Seed + seedOff),
+		ufsclust.WithMemBytes(w.MemBytes),
+	}
+	if w.Volume != nil {
+		opts = append(opts, ufsclust.WithVolume(*w.Volume))
+	}
+	return append(opts, extra...)
 }
 
 func (w Workload) withDefaults() Workload {
@@ -64,6 +86,9 @@ func PatternByte(seed, off int64) byte {
 // workload's durability watermark at the instant the lights went out.
 type CrashState struct {
 	Image *disk.Image
+	// VolImages is the per-member platter set when the workload ran on
+	// a volume (Image is then nil), in member order.
+	VolImages []*disk.Image
 	// Acked is the durability watermark: -1 until Create returned
 	// (the file itself may not exist), then the number of leading
 	// bytes fsync has acknowledged.
@@ -79,10 +104,7 @@ type CrashState struct {
 // Acked == w.Size().
 func RunToCrash(w Workload, plan fault.Plan) (*CrashState, error) {
 	w = w.withDefaults()
-	m, err := ufsclust.New(w.RC,
-		ufsclust.WithSeed(w.Seed+1),
-		ufsclust.WithMemBytes(w.MemBytes),
-		ufsclust.WithFaultPlan(plan))
+	m, err := ufsclust.New(w.RC, w.options(1, ufsclust.WithFaultPlan(plan))...)
 	if err != nil {
 		return nil, err
 	}
@@ -133,9 +155,13 @@ func RunToCrash(w Workload, plan fault.Plan) (*CrashState, error) {
 		return nil, fmt.Errorf("faultlab: workload failed without a crash: %w", runErr)
 	}
 	st := &CrashState{
-		Image:   m.Disk.Snapshot(),
 		Acked:   acked,
 		Crashed: m.Fault.Crashed(),
+	}
+	if m.Vol != nil {
+		st.VolImages = m.Vol.Snapshot()
+	} else {
+		st.Image = m.Disk.Snapshot()
 	}
 	if st.Crashed {
 		st.Cut = m.Fault.CrashTime()
@@ -182,10 +208,11 @@ type Report struct {
 // alongside the verdict.
 func Recover(w Workload, st *CrashState) (*Report, *ufs.RepairReport, error) {
 	w = w.withDefaults()
-	m, err := ufsclust.New(w.RC,
-		ufsclust.WithSeed(w.Seed+2),
-		ufsclust.WithMemBytes(w.MemBytes),
-		ufsclust.WithCrashRecovery(st.Image))
+	boot := ufsclust.WithCrashRecovery(st.Image)
+	if w.Volume != nil {
+		boot = ufsclust.WithVolumeCrashRecovery(st.VolImages)
+	}
+	m, err := ufsclust.New(w.RC, w.options(2, boot)...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -319,6 +346,118 @@ func Sweep(w Workload, n, workers int) (*SweepResult, error) {
 	}
 	sr.Reports = reports
 	return sr, nil
+}
+
+// MemberReport is the verdict of a degraded-mode round trip: a spindle
+// of a volume dies under read load, and the report says whether the
+// file survived and whether the array was rebuilt back to health.
+type MemberReport struct {
+	Outcome Outcome
+	Member  int    // the member the media fault was aimed at
+	Failed  bool   // the volume marked the member dead
+	Rebuilt bool   // member reconstructed and redundancy re-verified
+	Detail  string // first violation / surfaced error
+}
+
+// RunDegradedMember is the spindle-loss round trip. It writes the
+// workload to completion on a healthy volume, snapshots the member
+// platters, reboots from them with a hard media fault armed on the
+// given member's first read, and reads the whole file back.
+//
+// A redundant volume (mirror, RAID-5) must fail the member over and
+// return every byte — zero violations — after which the member is
+// rebuilt from the survivors and the redundancy invariant re-verified.
+// A non-redundant volume (stripe set) must surface the loss as a read
+// error: the CORRUPT verdict, because bytes the file system
+// acknowledged are no longer servable.
+func RunDegradedMember(w Workload, member int) (*MemberReport, error) {
+	w = w.withDefaults()
+	if w.Volume == nil {
+		return nil, fmt.Errorf("faultlab: RunDegradedMember needs a volume workload")
+	}
+	if member < 0 || member >= w.Volume.Members {
+		return nil, fmt.Errorf("faultlab: member %d out of range", member)
+	}
+	base, err := RunToCrash(w, fault.Plan{})
+	if err != nil {
+		return nil, fmt.Errorf("faultlab: building volume: %w", err)
+	}
+	if base.Crashed || base.Acked != w.Size() {
+		return nil, fmt.Errorf("faultlab: build did not complete (acked %d of %d)", base.Acked, w.Size())
+	}
+
+	plan := fault.Plan{Rules: []fault.Rule{{
+		Match: fault.Match{
+			Event: telemetry.EvIOStart,
+			Nth:   1,
+			RW:    fault.Reads,
+			Dev:   fmt.Sprintf("sd%d", member),
+		},
+		Kind: fault.MediaHard,
+	}}}
+	m, err := ufsclust.New(w.RC, w.options(3,
+		ufsclust.WithVolumeImages(base.VolImages),
+		ufsclust.WithFaultPlan(plan))...)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	rep := &MemberReport{Member: member}
+	var data []byte
+	var ioErr error
+	err = m.Run(func(p *sim.Proc) {
+		f, err := m.Engine.Open(p, w.Path)
+		if err != nil {
+			ioErr = err
+			return
+		}
+		data = make([]byte, f.Size())
+		if _, err := f.Read(p, 0, data); err != nil {
+			ioErr = err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, fm := range m.Vol.Failed() {
+		if fm == member {
+			rep.Failed = true
+		}
+	}
+	if ioErr != nil {
+		rep.Outcome = OutcomeCorrupt
+		rep.Detail = fmt.Sprintf("read after member loss: %v", ioErr)
+		return rep, nil
+	}
+	if int64(len(data)) != w.Size() {
+		rep.Outcome = OutcomeLostData
+		rep.Detail = fmt.Sprintf("size %d, want %d", len(data), w.Size())
+		return rep, nil
+	}
+	for off, got := range data {
+		if want := PatternByte(w.Seed, int64(off)); got != want {
+			rep.Outcome = OutcomeLostData
+			rep.Detail = fmt.Sprintf("byte %d: got %#02x, want %#02x", off, got, want)
+			return rep, nil
+		}
+	}
+	rep.Outcome = OutcomeFull
+
+	if rep.Failed {
+		if err := m.Vol.Rebuild(member); err != nil {
+			rep.Outcome = OutcomeDirty
+			rep.Detail = fmt.Sprintf("rebuild: %v", err)
+			return rep, nil
+		}
+		if bad, first := m.Vol.CheckParity(); bad > 0 {
+			rep.Outcome = OutcomeDirty
+			rep.Detail = fmt.Sprintf("%d bad spans after rebuild: %v", bad, first)
+			return rep, nil
+		}
+		rep.Rebuilt = true
+	}
+	return rep, nil
 }
 
 // Format renders the sweep: the outcome histogram in canonical order,

@@ -1,0 +1,106 @@
+package faultlab
+
+import (
+	"testing"
+
+	"ufsclust"
+	"ufsclust/internal/disk"
+	"ufsclust/internal/vol"
+)
+
+// volWorkload is the degraded-mode test workload: small members (50 MB)
+// and a small file keep every round trip quick.
+func volWorkload(cfg vol.Config) Workload {
+	p := disk.DefaultParams()
+	p.Geom = disk.UniformGeometry(200, 8, 64, 3600)
+	cfg.Member = &p
+	return Workload{
+		RC:         ufsclust.RunA(),
+		FileMB:     2,
+		FsyncEvery: 256 << 10,
+		Seed:       19,
+		Volume:     &cfg,
+	}
+}
+
+// TestDegradedMemberMirrorSurvives is the spindle-loss acceptance test
+// on a mirror: a hard media fault on one member's first read must fail
+// the member over with every byte intact (zero violations), and the
+// harness must be able to rebuild the member and re-verify redundancy.
+// The same loss on a stripe set has no second copy to serve from, so
+// the only honest verdict is CORRUPT: acknowledged bytes are gone.
+func TestDegradedMemberMirrorSurvives(t *testing.T) {
+	for member := 0; member < 2; member++ {
+		rep, err := RunDegradedMember(volWorkload(vol.Config{Level: vol.RAID1, Members: 2}), member)
+		if err != nil {
+			t.Fatalf("member %d: %v", member, err)
+		}
+		if rep.Outcome != OutcomeFull {
+			t.Errorf("member %d: outcome %s (%s), want %s", member, rep.Outcome, rep.Detail, OutcomeFull)
+		}
+		if !rep.Failed {
+			t.Errorf("member %d: volume never marked the faulted member dead", member)
+		}
+		if !rep.Rebuilt {
+			t.Errorf("member %d: member not rebuilt after the degraded read", member)
+		}
+	}
+}
+
+func TestDegradedMemberRAID5Survives(t *testing.T) {
+	rep, err := RunDegradedMember(volWorkload(vol.Config{Level: vol.RAID5, Members: 4}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeFull || !rep.Failed || !rep.Rebuilt {
+		t.Fatalf("RAID-5 spindle loss: %+v, want full/failed/rebuilt", *rep)
+	}
+}
+
+func TestDegradedMemberStripeCorrupts(t *testing.T) {
+	rep, err := RunDegradedMember(volWorkload(vol.Config{Level: vol.RAID0, Members: 2}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeCorrupt {
+		t.Fatalf("RAID-0 spindle loss: outcome %s (%s), want %s — a stripe set has no copy to fail over to",
+			rep.Outcome, rep.Detail, OutcomeCorrupt)
+	}
+	if rep.Failed {
+		t.Fatal("RAID-0 marked a member failed; non-redundant levels must surface the error instead")
+	}
+}
+
+// TestSweepDegradedMirrorAcceptance is the acceptance gate for crash
+// consistency on an already-degraded array: 50 power cuts across the
+// write cell on a two-way mirror whose second spindle is dead from
+// boot. Every recovery must uphold the same durability contract as the
+// single-drive sweep — the dead mirror side must never surface stale
+// bytes or fail repair.
+func TestSweepDegradedMirrorAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-cut degraded-mirror sweep in -short mode")
+	}
+	w := volWorkload(vol.Config{Level: vol.RAID1, Members: 2, Degraded: []int{1}})
+	sr, err := Sweep(w, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Reports) != 50 {
+		t.Fatalf("%d reports, want 50", len(sr.Reports))
+	}
+	if v := sr.Violations(); len(v) != 0 {
+		for _, r := range v {
+			t.Errorf("cut %v (acked %d): %s: %s", r.Cut, r.Acked, r.Outcome, r.Detail)
+		}
+	}
+	torn := 0
+	for _, r := range sr.Reports {
+		if r.Outcome == OutcomeTornTail {
+			torn++
+		}
+	}
+	if torn == 0 {
+		t.Error("no torn-tail outcome in 50 cuts; the sweep missed the mid-write region")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
+	"ufsclust/internal/vol"
 )
 
 // Kind is one IObench I/O type.
@@ -101,6 +102,11 @@ type Params struct {
 	// the run configuration's default (the paper's fixed one-cluster
 	// read-ahead).
 	Policy func() prefetch.Policy
+
+	// Volume, when non-nil, runs the benchmark on a composed volume
+	// (ufsclust.WithVolume) instead of the single sd0 — the -volmatrix
+	// sweep's cell configuration.
+	Volume *vol.Config
 }
 
 func (p Params) withDefaults() Params {
@@ -153,6 +159,9 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 	}
 	if prm.Policy != nil {
 		opts = append(opts, ufsclust.WithReadAhead(prm.Policy()))
+	}
+	if prm.Volume != nil {
+		opts = append(opts, ufsclust.WithVolume(*prm.Volume))
 	}
 	m, err := ufsclust.New(rc, opts...)
 	if err != nil {

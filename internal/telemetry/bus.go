@@ -34,6 +34,14 @@ type EventKind uint8
 //	              detector's sequentiality confidence. Emitted only by
 //	              non-fixed policies, so default-policy streams replay
 //	              the pre-policy fixtures byte-for-byte.
+//	EvParityRMW   a RAID-5 volume turned a partial-stripe write into a
+//	              read-modify-write: Sector is the row's first logical
+//	              sector, Blocks the data pieces rewritten.
+//	EvDegradedRead a redundant volume served a read by reconstruction
+//	              (mirror failover or parity XOR) instead of the failed
+//	              member.
+//	EvMemberFail  a volume marked a member device failed (media give-up
+//	              or administrative kill); Depth is the member index.
 //
 // New kinds are appended, never inserted: the wire names below are part
 // of the JSONL stream format that committed golden fixtures replay.
@@ -52,6 +60,9 @@ const (
 	EvIOGiveup
 	EvCrashCut
 	EvRAWindow
+	EvParityRMW
+	EvDegradedRead
+	EvMemberFail
 	numEventKinds
 )
 
@@ -59,6 +70,7 @@ var kindNames = [numEventKinds]string{
 	"io_queue", "io_start", "io_done", "sync_read", "read_ahead",
 	"write_lie", "cluster_push", "free_behind", "pageout_scan",
 	"fault_inject", "io_retry", "io_giveup", "crash_cut", "ra_window",
+	"parity_rmw", "degraded_read", "member_fail",
 }
 
 // String returns the kind's snake_case wire name.
@@ -82,6 +94,10 @@ type Event struct {
 	Depth  int64     // queue depth at emission / pages scanned
 	Dur    sim.Time  // request latency (EvIODone)
 	Write  bool      // transfer direction (I/O events)
+	// Dev labels the member device of a volume ("sd1"); empty on a
+	// bare-disk machine and on volume-level events, so single-spindle
+	// streams replay the pre-volume fixtures byte-for-byte.
+	Dev string
 }
 
 // Bus fans events out to subscribers. The zero value is ready to use,
@@ -194,6 +210,13 @@ func (jw *JSONLWriter) Write(ev Event) {
 	b = strconv.AppendInt(b, int64(ev.Dur), 10)
 	b = append(b, `,"write":`...)
 	b = strconv.AppendBool(b, ev.Write)
+	if ev.Dev != "" {
+		// Member tag, volume machines only: omitted when empty so the
+		// pre-volume goldens stay byte-identical.
+		b = append(b, `,"dev":"`...)
+		b = append(b, ev.Dev...)
+		b = append(b, '"')
+	}
 	b = append(b, '}', '\n')
 	jw.buf = b
 	_, jw.err = jw.w.Write(b)

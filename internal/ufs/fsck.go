@@ -29,7 +29,7 @@ func (r *FsckReport) addf(format string, args ...any) {
 // totals. It is how the repository demonstrates the paper's headline
 // constraint — the clustered engine leaves images byte-compatible with
 // the legacy one.
-func Fsck(d *disk.Disk) (*FsckReport, error) {
+func Fsck(d disk.Device) (*FsckReport, error) {
 	r := &FsckReport{}
 	sb, err := ReadSuperblock(d)
 	if err != nil {

@@ -46,7 +46,7 @@ func (o MkfsOpts) withDefaults() MkfsOpts {
 
 // Mkfs lays a fresh file system onto d's image. It runs "offline" (no
 // simulated time passes) and returns the superblock it wrote.
-func Mkfs(d *disk.Disk, opts MkfsOpts) (*Superblock, error) {
+func Mkfs(d disk.Device, opts MkfsOpts) (*Superblock, error) {
 	o := opts.withDefaults()
 	if o.Bsize%o.Fsize != 0 || o.Bsize/o.Fsize > 8 {
 		return nil, fmt.Errorf("ufs: bad bsize/fsize %d/%d", o.Bsize, o.Fsize)
@@ -152,7 +152,7 @@ func Mkfs(d *disk.Disk, opts MkfsOpts) (*Superblock, error) {
 }
 
 // writeFrags writes fragment-aligned data straight to the image.
-func writeFrags(d *disk.Disk, sb *Superblock, fsbn int32, data []byte) {
+func writeFrags(d disk.Device, sb *Superblock, fsbn int32, data []byte) {
 	if len(data)%int(sb.Fsize) != 0 {
 		panic("ufs: unaligned metadata write") // simlint:invariant -- layout computes block-aligned addresses
 	}
@@ -160,7 +160,7 @@ func writeFrags(d *disk.Disk, sb *Superblock, fsbn int32, data []byte) {
 }
 
 // readFrags reads fragment-aligned data straight from the image.
-func readFrags(d *disk.Disk, sb *Superblock, fsbn int32, data []byte) {
+func readFrags(d disk.Device, sb *Superblock, fsbn int32, data []byte) {
 	if len(data)%int(sb.Fsize) != 0 {
 		panic("ufs: unaligned metadata read") // simlint:invariant -- layout computes block-aligned addresses
 	}
@@ -168,7 +168,7 @@ func readFrags(d *disk.Disk, sb *Superblock, fsbn int32, data []byte) {
 }
 
 // ReadSuperblock loads and validates the primary superblock from d.
-func ReadSuperblock(d *disk.Disk) (*Superblock, error) {
+func ReadSuperblock(d disk.Device) (*Superblock, error) {
 	buf := make([]byte, SBSize)
 	d.ReadImage(int64(sbFragOffset*SBSize)/disk.SectorSize, buf)
 	return UnmarshalSuperblock(buf)

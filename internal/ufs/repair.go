@@ -36,7 +36,7 @@ func (r *RepairReport) fixf(format string, args ...any) {
 
 // repairer carries the working state of one Repair run.
 type repairer struct {
-	d      *disk.Disk
+	d      disk.Device
 	sb     *Superblock
 	r      *RepairReport
 	dinode []Dinode // indexed by ino; cleared entries are the zero value
@@ -50,7 +50,7 @@ const metaOwner = int32(-1)
 // other inconsistency is repaired, destructively if necessary (an
 // unreachable or structurally hopeless inode is cleared, a duplicate
 // block claim is resolved in favor of the lower-numbered inode).
-func Repair(d *disk.Disk) (*RepairReport, error) {
+func Repair(d disk.Device) (*RepairReport, error) {
 	rep := &RepairReport{}
 	sb, err := ReadSuperblock(d)
 	if err != nil {
@@ -81,7 +81,7 @@ func Repair(d *disk.Disk) (*RepairReport, error) {
 // the primary is gone. Copies live at fragment CgSBlock(cg) of every
 // group; the scan accepts the first candidate that decodes, fits the
 // disk, and sits where its own geometry says a copy belongs.
-func findAltSuperblock(d *disk.Disk) (*Superblock, error) {
+func findAltSuperblock(d disk.Device) (*Superblock, error) {
 	totalFrags := d.Geom().TotalBytes() / SBSize
 	buf := make([]byte, SBSize)
 	for f := int64(0); f < totalFrags; f++ {

@@ -1,0 +1,109 @@
+package vol_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ufsclust/internal/sim"
+	"ufsclust/internal/telemetry"
+	"ufsclust/internal/vol"
+)
+
+// xfer is one member transfer as observed on the telemetry bus.
+type xfer struct {
+	dev    string
+	sector int64
+	bytes  int64
+	write  bool
+}
+
+func (x xfer) String() string {
+	rw := "r"
+	if x.write {
+		rw = "w"
+	}
+	return fmt.Sprintf("%s %s %d+%d", x.dev, rw, x.sector, x.bytes)
+}
+
+// captureStraddle boots a volume, issues one 56 KB write at logical
+// sector 0, and returns the member io_start transfers in issue order.
+func captureStraddle(t *testing.T, cfg vol.Config) []xfer {
+	t.Helper()
+	s := sim.New(1)
+	t.Cleanup(s.Close)
+	cfg.Member = member()
+	v, err := vol.New(s, "vol0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	v.AttachTelemetry(tel)
+	var got []xfer
+	tel.Bus.Subscribe(func(ev telemetry.Event) {
+		if ev.Kind == telemetry.EvIOStart {
+			got = append(got, xfer{ev.Dev, ev.Sector, ev.Bytes, ev.Write})
+		}
+	})
+	data := make([]byte, 56<<10)
+	fill(data, 1)
+	run(t, s, func(p *sim.Proc) {
+		if err := volIO(p, v, 0, data, true); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	return got
+}
+
+// TestStripeStraddleGolden pins the exact member decomposition of a
+// 56 KB cluster write straddling a 32 KB stripe unit — count, order,
+// addresses, and direction — so the split can never drift silently.
+//
+// RAID-0 x2: sectors [0,112) interleave in 64-sector chunks:
+// chunk 0 -> sd0[0,64), chunk 1 -> sd1[0,64) but only 48 sectors of it
+// are covered. Two writes, member order = first touch.
+//
+// RAID-5 x3: each parity row spans 2 data chunks = 128 sectors, so the
+// 112-sector write is a partial row 0 and takes the read-modify-write
+// path: phase 1 reads old data under both dirty chunks plus old parity
+// (sd2 holds row 0's parity), phase 2 writes the same three extents.
+func TestStripeStraddleGolden(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  vol.Config
+		want []xfer
+	}{
+		{
+			name: "raid0-x2",
+			cfg:  vol.Config{Level: vol.RAID0, Members: 2, StripeKB: 32},
+			want: []xfer{
+				{"sd0", 0, 32 << 10, true},
+				{"sd1", 0, 24 << 10, true},
+			},
+		},
+		{
+			name: "raid5-x3",
+			cfg:  vol.Config{Level: vol.RAID5, Members: 3, StripeKB: 32},
+			want: []xfer{
+				{"sd0", 0, 32 << 10, false},
+				{"sd1", 0, 24 << 10, false},
+				{"sd2", 0, 32 << 10, false},
+				{"sd0", 0, 32 << 10, true},
+				{"sd1", 0, 24 << 10, true},
+				{"sd2", 0, 32 << 10, true},
+			},
+		},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := captureStraddle(t, c.cfg)
+			if len(got) != len(c.want) {
+				t.Fatalf("%d member transfers %v, want %d %v", len(got), got, len(c.want), c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("transfer %d = %v, want %v (full sequence %v)", i, got[i], c.want[i], got)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"ufsclust/internal/fault"
 	"ufsclust/internal/prefetch"
 	"ufsclust/internal/ufs"
+	"ufsclust/internal/vol"
 )
 
 // Option adjusts the machine options derived from a RunConfig. Options
@@ -113,6 +114,33 @@ func WithImage(img *disk.Image) Option {
 // repair's report lands in Machine.RepairLog.
 func WithCrashRecovery(img *disk.Image) Option {
 	return func(o *Options) { o.Image = img; o.RepairImage = true }
+}
+
+// WithVolume composes the machine's storage from several member drives
+// instead of the single sd0 — a concat, stripe set, mirror, or RAID-5
+// array (see internal/vol). The file system sees one synthetic drive of
+// the composed data capacity; the driver keeps one request in flight
+// per member so the spindles seek concurrently:
+//
+//	m, _ := ufsclust.New(ufsclust.RunA(),
+//		ufsclust.WithVolume(vol.Config{Level: vol.RAID5, Members: 4}))
+//
+// Options.Disk, if also set, becomes the member drive template.
+func WithVolume(cfg vol.Config) Option {
+	return func(o *Options) { o.Volume = &cfg }
+}
+
+// WithVolumeImages boots a volume machine from member platter
+// snapshots (vol.Volume.Snapshot) instead of running mkfs; the slice
+// must have one image per member, in member order.
+func WithVolumeImages(imgs []*disk.Image) Option {
+	return func(o *Options) { o.VolImages = imgs }
+}
+
+// WithVolumeCrashRecovery boots a volume machine from member snapshots
+// and runs ufs.Repair before mounting — WithCrashRecovery for arrays.
+func WithVolumeCrashRecovery(imgs []*disk.Image) Option {
+	return func(o *Options) { o.VolImages = imgs; o.RepairImage = true }
 }
 
 // New assembles a machine for one of the paper's run configurations,

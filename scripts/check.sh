@@ -27,9 +27,19 @@
 #                                          parallel iobench cells only by
 #                                          mistake; the race run proves a
 #                                          per-machine policy never is)
-#   6. faultlab smoke sweep                8 crash points over a 2 MB
-#                                          write; exits nonzero on any
+#      go test -race ./internal/vol/... ./internal/faultlab/...
+#                                          (volume machines run in
+#                                          parallel sweep workers; the
+#                                          race run proves no member or
+#                                          parity state leaks between
+#                                          host goroutines)
+#   6. faultlab smoke sweeps               8 crash points over a 2 MB
+#                                          write — once on the single
+#                                          drive, once on a degraded
+#                                          mirror; exits nonzero on any
 #                                          crash-consistency violation
+#   7. coverage summary                    go test -cover over the model
+#                                          packages, informational
 #
 # Usage: scripts/check.sh  (from anywhere inside the repo)
 set -eu
@@ -70,8 +80,17 @@ go test -race ./internal/fault/...
 echo "==> go test -race ./internal/prefetch/..."
 go test -race ./internal/prefetch/...
 
+echo "==> go test -race -short ./internal/vol/... ./internal/faultlab/..."
+go test -race -short ./internal/vol/... ./internal/faultlab/...
+
 echo "==> faultlab smoke sweep"
 go build -o "$tmp/faultlab" ./cmd/faultlab
 "$tmp/faultlab" -file 2 -fsync 262144 -cuts 8 -seed 7
+
+echo "==> faultlab smoke sweep (degraded mirror)"
+"$tmp/faultlab" -file 2 -fsync 262144 -cuts 8 -seed 7 -vol raid1 -degraded 1
+
+echo "==> coverage summary (informational)"
+go test -cover ./internal/vol/ ./internal/core/ ./internal/ufs/ ./internal/disk/ ./internal/driver/ ./internal/faultlab/ 2>/dev/null | awk '{printf "    %-28s %s\n", $2, $5}'
 
 echo "check: all gates passed"

@@ -35,6 +35,7 @@ import (
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
 	"ufsclust/internal/vm"
+	"ufsclust/internal/vol"
 )
 
 // File is an open file handle on the simulated file system.
@@ -68,13 +69,31 @@ type Options struct {
 	// image before mounting — the crash-recovery path.
 	Image       *disk.Image
 	RepairImage bool
+
+	// Volume, when non-nil, composes the machine's storage from several
+	// member drives (concat, RAID-0/1/5 — see internal/vol) instead of
+	// the single sd0. Options.Disk becomes the member template when
+	// Volume.Member is nil. Image is then ignored; VolImages restores
+	// member snapshots (vol.Volume.Snapshot) instead.
+	Volume    *vol.Config
+	VolImages []*disk.Image
 }
 
 // Machine is a fully assembled simulated system.
 type Machine struct {
-	Sim    *sim.Sim
-	CPU    *cpu.Model
-	Disk   *disk.Disk
+	Sim *sim.Sim
+	CPU *cpu.Model
+
+	// Dev is the block device under the driver: the bare Disk, or the
+	// Vol composing several. Always non-nil.
+	Dev disk.Device
+	// Disk is the bare drive on a single-disk machine; nil when the
+	// machine was built with a volume (use Vol, or Dev for the common
+	// block-device surface).
+	Disk *disk.Disk
+	// Vol is the composed volume on a volume machine; nil otherwise.
+	Vol *vol.Volume
+
 	Driver *driver.Driver
 	VM     *vm.VM
 	FS     *ufs.Fs
@@ -109,34 +128,66 @@ func NewMachine(o Options) (*Machine, error) {
 	cm := cpu.New(s, o.MIPS)
 	tel := telemetry.New()
 
-	dp := disk.DefaultParams()
-	if o.Disk != nil {
-		dp = *o.Disk
+	var (
+		dev disk.Device
+		d   *disk.Disk
+		vl  *vol.Volume
+		err error
+	)
+	if o.Volume != nil {
+		vc := *o.Volume
+		if vc.Member == nil && o.Disk != nil {
+			vc.Member = o.Disk
+		}
+		vl, err = vol.New(s, "vol0", vc)
+		if err != nil {
+			return nil, err
+		}
+		dev = vl
+	} else {
+		dp := disk.DefaultParams()
+		if o.Disk != nil {
+			dp = *o.Disk
+		}
+		d = disk.New(s, "sd0", dp)
+		dev = d
 	}
-	d := disk.New(s, "sd0", dp)
 
 	dc := driver.DefaultConfig()
 	if o.Driver != nil {
 		dc = *o.Driver
 	}
-	dr := driver.New(s, d, cm, dc)
+	dr := driver.New(s, dev, cm, dc)
 
 	inj, err := fault.NewInjector(s, o.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("fault plan: %w", err)
 	}
-	d.AttachFaults(inj)
+	if vl != nil {
+		vl.AttachFaults(inj)
+	} else {
+		d.AttachFaults(inj)
+	}
 
 	var repairLog *ufs.RepairReport
-	if o.Image != nil {
+	restored := false
+	if vl != nil && o.VolImages != nil {
+		if err := vl.Restore(o.VolImages); err != nil {
+			return nil, err
+		}
+		restored = true
+	} else if vl == nil && o.Image != nil {
 		d.Restore(o.Image)
+		restored = true
+	}
+	if restored {
 		if o.RepairImage {
-			repairLog, err = ufs.Repair(d)
+			repairLog, err = ufs.Repair(dev)
 			if err != nil {
 				return nil, fmt.Errorf("repair: %w", err)
 			}
 		}
-	} else if _, err := ufs.Mkfs(d, o.Mkfs); err != nil {
+	} else if _, err := ufs.Mkfs(dev, o.Mkfs); err != nil {
 		return nil, fmt.Errorf("mkfs: %w", err)
 	}
 	fs, err := ufs.Mount(s, cm, dr, o.Mount)
@@ -146,7 +197,11 @@ func NewMachine(o Options) (*Machine, error) {
 	v := vm.New(s, cm, vm.Config{MemBytes: o.MemBytes})
 	eng := core.NewEngine(s, cm, v, fs, o.Engine)
 	cm.AttachTelemetry(tel)
-	d.AttachTelemetry(tel)
+	if vl != nil {
+		vl.AttachTelemetry(tel)
+	} else {
+		d.AttachTelemetry(tel)
+	}
 	dr.AttachTelemetry(tel)
 	fs.AttachTelemetry(tel)
 	v.AttachTelemetry(tel)
@@ -158,8 +213,8 @@ func NewMachine(o Options) (*Machine, error) {
 	// lines appear in the JSONL stream after the event that triggered
 	// them — the bus runs subscribers in registration order.
 	inj.AttachTelemetry(tel)
-	return &Machine{Sim: s, CPU: cm, Disk: d, Driver: dr, VM: v, FS: fs, Engine: eng, Tel: tel,
-		Fault: inj, RepairLog: repairLog}, nil
+	return &Machine{Sim: s, CPU: cm, Dev: dev, Disk: d, Vol: vl, Driver: dr, VM: v, FS: fs,
+		Engine: eng, Tel: tel, Fault: inj, RepairLog: repairLog}, nil
 }
 
 // Run spawns fn as a simulated process and drives the simulation until
@@ -179,7 +234,7 @@ func (m *Machine) Close() { m.Sim.Close() }
 // Fsck flushes all state to the disk image and checks it.
 func (m *Machine) Fsck() (*ufs.FsckReport, error) {
 	m.FS.SyncImage()
-	return ufs.Fsck(m.Disk)
+	return ufs.Fsck(m.Dev)
 }
 
 // Snapshot reads every registered metric and histogram at the current
@@ -203,7 +258,11 @@ func (m *Machine) Snapshot() telemetry.Snapshot {
 // ufs.Fs allocator and metadata-cache counters, which the original
 // field-poking version forgot.
 func (m *Machine) ResetStats() {
-	m.Disk.Stats = disk.Stats{}
+	if m.Vol != nil {
+		m.Vol.ResetStats()
+	} else {
+		m.Disk.Stats = disk.Stats{}
+	}
 	m.Driver.Stats = driver.Stats{}
 	m.VM.Stats = vm.Stats{}
 	m.Engine.Stats = core.Stats{}
