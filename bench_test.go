@@ -304,7 +304,6 @@ func writeLimitRate(limit int64) (float64, error) {
 		}
 		f.Write(p, 0, make([]byte, 8<<20))
 		f.Fsync(p)
-		m.ResetStats()
 		buf := make([]byte, 8192)
 		t0 := p.Now()
 		for j := 0; j < n; j++ {
@@ -360,7 +359,6 @@ func BenchmarkTrackBufferTradeoff(b *testing.B) {
 					}
 					f.Purge(p)
 				}
-				m.ResetStats()
 				t0 := p.Now()
 				for off := int64(0); off < size; off += 8192 {
 					if write {
@@ -424,7 +422,6 @@ func BenchmarkDriverClustering(b *testing.B) {
 					}
 					f.Purge(p)
 				}
-				m.ResetStats()
 				t0 := p.Now()
 				for off := int64(0); off < size; off += 8192 {
 					if write {
@@ -634,12 +631,12 @@ func BenchmarkFwBmapCache(b *testing.B) {
 					}
 					f.Write(p, 0, make([]byte, 4<<20))
 					f.Purge(p)
-					m.ResetStats()
+					pre := m.Snapshot()
 					buf := make([]byte, 8192)
 					for off := int64(0); off < 4<<20; off += 8192 {
 						f.Read(p, off, buf)
 					}
-					cpuS = m.CPU.SystemTime().Seconds()
+					cpuS = sim.Time(m.Snapshot().Delta(pre).Get("cpu.system_ns")).Seconds()
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -682,13 +679,13 @@ func BenchmarkFwSkipBmapOnHit(b *testing.B) {
 					for off := int64(0); off < 2<<20; off += 8192 {
 						f.Read(p, off, buf)
 					}
-					m.ResetStats()
+					pre := m.Snapshot()
 					// Random cached re-reads: the bmap-skip case.
 					for j := 0; j < 512; j++ {
 						off := m.Sim.Rand.Int63n(2<<20/8192) * 8192
 						f.Read(p, off, buf)
 					}
-					cpuS = m.CPU.SystemTime().Seconds()
+					cpuS = sim.Time(m.Snapshot().Delta(pre).Get("cpu.system_ns")).Seconds()
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -733,7 +730,6 @@ func BenchmarkFwRandomClustering(b *testing.B) {
 						f.Write(p, off, chunk)
 					}
 					f.Purge(p)
-					m.ResetStats()
 					t0 := p.Now()
 					segs := size / int64(len(chunk))
 					for j := 0; j < 64; j++ {
@@ -882,7 +878,6 @@ func seqRateErr(rotdelay int, clustered, write bool) (float64, error) {
 			}
 			f.Purge(p)
 		}
-		m.ResetStats()
 		t0 := p.Now()
 		for off := int64(0); off < size; off += 8192 {
 			if write {
@@ -938,7 +933,6 @@ func BenchmarkReadAheadAblation(b *testing.B) {
 						f.Write(p, off, chunk)
 					}
 					f.Purge(p)
-					m.ResetStats()
 					t0 := p.Now()
 					for off := int64(0); off < size; off += 8192 {
 						f.Read(p, off, chunk)

@@ -7,6 +7,7 @@
 //	iobench [-file MB] [-ops N] [-runs A,B,C,D] [-ra fixed] [-list] [-ratios] [-parallel N]
 //	iobench -ramatrix BENCH_iobench.json
 //	iobench -volmatrix BENCH_iobench.json
+//	iobench -vecmatrix BENCH_iobench.json
 //
 // -parallel runs the (run, kind) matrix on N host workers (0 means
 // GOMAXPROCS). Every cell is an independent deterministic simulation,
@@ -19,10 +20,18 @@
 //
 // -volmatrix likewise writes the volume-layer comparison: cluster size
 // (run A's 120 KB against run B's 8 KB) × RAID level × stripe width,
-// sequential write and read rates plus the parity path counters. Both
-// matrix flags merge their section into the same JSON report file
-// ({"ramatrix": ..., "volmatrix": ...}), so bench.sh can refresh them
-// independently.
+// sequential write and read rates plus the parity path counters.
+//
+// -vecmatrix writes the vectored-I/O strategy comparison: the FSTR
+// strided-read cell (8 KB records) swept from dense to sparse strides
+// under each Readv strategy, with transfer rates and the vec counters.
+// Data sieving wins the dense strides, true list I/O the sparse ones —
+// the crossover of Ching et al.'s noncontiguous-I/O study — and the
+// auto rows show the density cutoff tracking the winner.
+//
+// All matrix flags merge their section into the same JSON report file
+// ({"ramatrix": ..., "volmatrix": ..., "vecmatrix": ...}), so bench.sh
+// can refresh them independently.
 package main
 
 import (
@@ -45,7 +54,7 @@ func writeSection(path, key string, section any) error {
 	if b, err := os.ReadFile(path); err == nil {
 		var old map[string]json.RawMessage
 		if json.Unmarshal(b, &old) == nil {
-			for _, k := range []string{"ramatrix", "volmatrix"} {
+			for _, k := range []string{"ramatrix", "volmatrix", "vecmatrix"} {
 				if v, ok := old[k]; ok {
 					full[k] = v
 				}
@@ -171,6 +180,63 @@ func volMatrix(path string, fileMB int) error {
 	return writeSection(path, "volmatrix", report)
 }
 
+// vecCell is one matrix entry in the -vecmatrix report.
+type vecCell struct {
+	StrideKB     int     `json:"stride_kb"`
+	Density      float64 `json:"density"`
+	Strategy     string  `json:"strategy"`
+	RateKBs      float64 `json:"rate_kbs"`
+	VecRuns      int64   `json:"vec_runs"`
+	VecCoalesced int64   `json:"vec_coalesced"`
+	SieveWaste   int64   `json:"sieve_waste"`
+	VecQueued    int64   `json:"vec_queued"`
+}
+
+// vecMatrix writes the Readv strategy comparison: the FSTR cell (2 KB
+// records, 32 per call) swept across strides on run A under each
+// strategy. Density — record over stride — is the independent variable:
+// at 1.0 the vector is one contiguous run, and as the stride widens the
+// sieve envelope reads ever more bytes it throws away while list I/O
+// pays per-run transfers that the elevator batches into one sweep. The
+// records are sub-block on purpose: that is the regime where sieving's
+// clustered envelope genuinely beats per-run transfers at dense
+// strides, so the sweep exhibits the crossover instead of list
+// dominating everywhere.
+func vecMatrix(path string, fileMB int) error {
+	const recordKB = 2
+	strides := []int{2, 4, 8, 16, 32, 64}
+	strategies := []string{"naive", "sieve", "list", "auto"}
+	report := struct {
+		Run      string    `json:"run"`
+		FileMB   int       `json:"file_mb"`
+		RecordKB int       `json:"record_kb"`
+		VecBatch int       `json:"vec_batch"`
+		Cells    []vecCell `json:"cells"`
+	}{Run: "A", FileMB: fileMB, RecordKB: recordKB, VecBatch: 32}
+	for _, st := range strides {
+		for _, name := range strategies {
+			fac, _ := iobench.VecFactory(name)
+			prm := iobench.Params{
+				FileMB: fileMB, Record: recordKB << 10, Stride: st << 10,
+				VecBatch: report.VecBatch, Vec: fac,
+			}
+			res, snap, err := iobench.RunMeasured(ufsclust.RunA(), iobench.FSTR, prm)
+			if err != nil {
+				return fmt.Errorf("stride %dK %s: %w", st, name, err)
+			}
+			report.Cells = append(report.Cells, vecCell{
+				StrideKB: st, Density: float64(recordKB) / float64(st), Strategy: name,
+				RateKBs:      res.RateKBs(),
+				VecRuns:      snap.Get("core.vec_runs"),
+				VecCoalesced: snap.Get("core.vec_coalesced"),
+				SieveWaste:   snap.Get("core.sieve_waste"),
+				VecQueued:    snap.Get("driver.vec_queued"),
+			})
+		}
+	}
+	return writeSection(path, "vecmatrix", report)
+}
+
 func main() {
 	fileMB := flag.Int("file", 16, "benchmark file size in MB")
 	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
@@ -178,27 +244,28 @@ func main() {
 	raFlag := flag.String("ra", "fixed", "read-ahead policy (fixed, adaptive, off)")
 	matrix := flag.String("ramatrix", "", "write the read-ahead policy matrix to this JSON file and exit")
 	volmat := flag.String("volmatrix", "", "write the volume (RAID level x stripe) matrix to this JSON file and exit")
+	vecmat := flag.String("vecmatrix", "", "write the vectored-I/O (stride x strategy) matrix to this JSON file and exit")
 	list := flag.Bool("list", false, "print Figure 9 (run descriptions) and exit")
 	ratiosOnly := flag.Bool("ratios", false, "print only Figure 11 (ratios)")
 	parallel := flag.Int("parallel", 1, "host workers for the run×kind matrix (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if *matrix != "" {
-		if err := raMatrix(*matrix); err != nil {
-			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("iobench: wrote %s\n", *matrix)
-		if *volmat == "" {
+	anyMatrix := false
+	runMatrix := func(path string, fn func(string) error) {
+		if path == "" {
 			return
 		}
-	}
-	if *volmat != "" {
-		if err := volMatrix(*volmat, 2); err != nil {
+		anyMatrix = true
+		if err := fn(path); err != nil {
 			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("iobench: wrote %s\n", *volmat)
+		fmt.Printf("iobench: wrote %s\n", path)
+	}
+	runMatrix(*matrix, raMatrix)
+	runMatrix(*volmat, func(p string) error { return volMatrix(p, 2) })
+	runMatrix(*vecmat, func(p string) error { return vecMatrix(p, 8) })
+	if anyMatrix {
 		return
 	}
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	simstat [-run A] [-kind FSR] [-ra fixed] [-file MB] [-ops N] [-mem MB] [-seed N] [-jsonl file]
+//	simstat [-run A] [-kind FSR] [-ra fixed] [-vec auto] [-record B] [-stride B] [-file MB] [-ops N] [-mem MB] [-seed N] [-jsonl file]
 package main
 
 import (
@@ -21,8 +21,11 @@ import (
 
 func main() {
 	runName := flag.String("run", "A", "run configuration (A, B, C, D)")
-	kindFlag := flag.String("kind", "FSR", "I/O type (FSR, FSU, FSW, FRR, FRU, FMX)")
+	kindFlag := flag.String("kind", "FSR", "I/O type (FSR, FSU, FSW, FRR, FRU, FMX, FSTR)")
 	raFlag := flag.String("ra", "fixed", "read-ahead policy (fixed, adaptive, off)")
+	vecFlag := flag.String("vec", "auto", "Readv/Writev strategy (auto, naive, sieve, list)")
+	record := flag.Int("record", 0, "FSTR record size in bytes (default the I/O size)")
+	stride := flag.Int("stride", 0, "FSTR stride in bytes (default 4x record)")
 	fileMB := flag.Int("file", 16, "benchmark file size in MB")
 	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
 	memMB := flag.Int("mem", 0, "override physical memory in MB (0 = run default)")
@@ -57,8 +60,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simstat: unknown read-ahead policy %q\n", *raFlag)
 		os.Exit(2)
 	}
+	vfac, ok := iobench.VecFactory(*vecFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "simstat: unknown vec strategy %q\n", *vecFlag)
+		os.Exit(2)
+	}
 
-	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Seed: *seed, Policy: pol}
+	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Seed: *seed, Policy: pol,
+		Vec: vfac, Record: *record, Stride: *stride}
 	if *memMB > 0 {
 		prm.MemBytes = int64(*memMB) << 20
 	}
@@ -82,8 +91,14 @@ func main() {
 	fmt.Printf("run %s %s, %dMB file: %.0f KB/s over %v (cpu %v)\n",
 		res.Run, res.Kind, *fileMB, res.RateKBs(), res.Elapsed, res.CPUTime)
 	win := snap.Hist("core.ra_window")
-	fmt.Printf("read-ahead %s: %d triggers, %d hits, %d wasted blocks, mean window %.1f blocks\n\n",
+	fmt.Printf("read-ahead %s: %d triggers, %d hits, %d wasted blocks, mean window %.1f blocks\n",
 		*raFlag, snap.Get("core.ra_triggers"), snap.Get("core.ra_hits"),
 		snap.Get("vm.ra_waste"), win.Mean())
+	if calls := snap.Get("core.vec_calls"); calls > 0 {
+		fmt.Printf("vectored %s: %d calls, %d runs (%d coalesced), %d sieve-waste bytes, %d list transfers\n",
+			*vecFlag, calls, snap.Get("core.vec_runs"), snap.Get("core.vec_coalesced"),
+			snap.Get("core.sieve_waste"), snap.Get("driver.vec_queued"))
+	}
+	fmt.Println()
 	snap.Format(os.Stdout)
 }

@@ -45,6 +45,9 @@ var modelPkgs = map[string]bool{
 	// in completion context between the driver and the member drives —
 	// squarely on the model's hot path.
 	modulePath + "/internal/vol": true,
+	// vec strategies run inline in Readv/Writev and their picks feed
+	// the byte-identical event streams, like the prefetch policies.
+	modulePath + "/internal/vec": true,
 }
 
 func isInternal(path string) bool {

@@ -8,6 +8,7 @@ import (
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
+	"ufsclust/internal/vec"
 	"ufsclust/internal/vm"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	// confidence-driven ramping window. The legacy block-at-a-time
 	// engine keeps its hardwired one-block read-ahead regardless.
 	Prefetch prefetch.Policy
+	// Vec selects the vectored-I/O strategy Readv/Writev dispatch
+	// through: data sieving vs. true list I/O (see internal/vec). nil
+	// selects the density-threshold vec.Auto policy. Single-element
+	// vectors bypass the strategy entirely and take the scalar paths.
+	Vec vec.Strategy
 	// FreeBehind releases pages behind large sequential reads when
 	// memory is low, turning LRU into MRU for streaming I/O.
 	FreeBehind bool
@@ -102,6 +108,10 @@ type Stats struct {
 	RACollapses   int64 // policy collapses on a random seek
 	RAClampMem    int64 // windows reduced by the free-memory clamp
 	RAClampSem    int64 // windows reduced by the write-limit clamp
+	VecCalls      int64 // multi-element Readv/Writev calls dispatched
+	VecRuns       int64 // merged runs across all vectored calls
+	VecCoalesced  int64 // vector elements absorbed into a shared run
+	SieveWaste    int64 // sieving overhead bytes (gap transfer + RMW read-back)
 }
 
 // InodeDataMax is the size cap for the inode data cache ("many files
@@ -159,6 +169,10 @@ func (e *Engine) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("core.ra_collapses", func() int64 { return e.Stats.RACollapses })
 	r.Counter("core.ra_clamp_mem", func() int64 { return e.Stats.RAClampMem })
 	r.Counter("core.ra_clamp_sem", func() int64 { return e.Stats.RAClampSem })
+	r.Counter("core.vec_calls", func() int64 { return e.Stats.VecCalls })
+	r.Counter("core.vec_runs", func() int64 { return e.Stats.VecRuns })
+	r.Counter("core.vec_coalesced", func() int64 { return e.Stats.VecCoalesced })
+	r.Counter("core.sieve_waste", func() int64 { return e.Stats.SieveWaste })
 	e.raWindow = r.Hist(telemetry.NewHistogram("core.ra_window", telemetry.UnitCount, telemetry.DepthBounds()))
 }
 
@@ -197,6 +211,19 @@ func (e *Engine) policy() prefetch.Policy {
 		return e.Cfg.Prefetch
 	}
 	return fixedPolicy
+}
+
+// autoVec is the default vectored-I/O strategy, shared safely across
+// engines because it is stateless.
+var autoVec = vec.Auto(0)
+
+// vecStrategy returns the configured vectored-I/O strategy, defaulting
+// to the density-threshold auto policy.
+func (e *Engine) vecStrategy() vec.Strategy {
+	if e.Cfg.Vec != nil {
+		return e.Cfg.Vec
+	}
+	return autoVec
 }
 
 func (e *Engine) charge(p *sim.Proc, c cpu.Category, instr int64) {

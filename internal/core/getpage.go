@@ -305,6 +305,15 @@ func (e *Engine) raTrigger(p *sim.Proc, vn *Vnode, lbn int64, contig int, seq bo
 // and at the end of the file. It returns the (busy) page for lbn; with
 // async true it does not wait for anything. Holes zero-fill without I/O.
 func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblocks int, async bool) *vm.Page {
+	return e.startReadTagged(p, vn, lbn, fsbn, nblocks, async, false)
+}
+
+// startReadTagged is startRead with the transfers' driver-level vec tag
+// under caller control: the vectored list-I/O read path marks its bufs
+// so driver accounting can attribute them. The tag travels as a
+// parameter, not engine state — Bmap and page allocation can block
+// mid-issue, so concurrent processes interleave here.
+func (e *Engine) startReadTagged(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblocks int, async, vtag bool) *vm.Page {
 	sb := e.FS.SB
 	if async {
 		e.Stats.AsyncReads++
@@ -368,6 +377,7 @@ func (e *Engine) startRead(p *sim.Proc, vn *Vnode, lbn int64, fsbn int32, nblock
 		e.FS.Drv.Strategy(p, &driver.Buf{
 			Blkno: sb.FsbToDb(fsbn + int32(runStart)*sb.Frag),
 			Data:  xfer,
+			Vec:   vtag,
 			Iodone: func(b *driver.Buf) {
 				if b.Err != nil {
 					// The transfer never produced data: latch the error

@@ -56,6 +56,11 @@ type Buf struct {
 	// Order marks a barrier request: neither it nor requests queued
 	// after it may be sorted ahead of requests queued before it.
 	Order bool
+	// Vec marks a transfer issued directly by the list-I/O vectored read
+	// path (core's Readv). Sieving envelopes and vectored writes flow
+	// through the shared demand-read and delayed-write machinery and are
+	// not tagged, so driver.vec_queued counts list-read transfers only.
+	Vec bool
 	// Iodone is called in interrupt (scheduler) context at completion.
 	Iodone func(*Buf)
 	// Err is set before Iodone runs when the transfer failed for good
@@ -89,6 +94,7 @@ type Stats struct {
 	SortSkipped int64 // inserts pinned behind a B_ORDER barrier
 	Retries     int64 // failed transfers rescheduled
 	Giveups     int64 // transfers abandoned after exhausting retries
+	VecQueued   int64 // bufs tagged by the vectored list-I/O read path
 }
 
 // Config selects driver behaviour.
@@ -164,6 +170,7 @@ func (dr *Driver) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("driver.sort_skipped", func() int64 { return dr.Stats.SortSkipped })
 	r.Counter("driver.retries", func() int64 { return dr.Stats.Retries })
 	r.Counter("driver.giveups", func() int64 { return dr.Stats.Giveups })
+	r.Counter("driver.vec_queued", func() int64 { return dr.Stats.VecQueued })
 	r.Counter("driver.queue_wait_ns", func() int64 { return int64(dr.Stats.QueueWait) })
 	r.Gauge("driver.max_queue", func() int64 { return int64(dr.Stats.MaxQueue) })
 	r.Gauge("driver.queue_len", func() int64 { return int64(len(dr.queue)) })
@@ -214,6 +221,9 @@ func (dr *Driver) Strategy(p *sim.Proc, b *Buf) {
 	}
 	b.queuedAt = dr.Sim.Now()
 	dr.Stats.Queued++
+	if b.Vec {
+		dr.Stats.VecQueued++
+	}
 
 	if dr.Cfg.Coalesce && dr.tryCoalesce(b) {
 		dr.Stats.Coalesced++

@@ -208,9 +208,9 @@ type Report struct {
 // alongside the verdict.
 func Recover(w Workload, st *CrashState) (*Report, *ufs.RepairReport, error) {
 	w = w.withDefaults()
-	boot := ufsclust.WithCrashRecovery(st.Image)
+	boot := ufsclust.WithRecovery(st.Image)
 	if w.Volume != nil {
-		boot = ufsclust.WithVolumeCrashRecovery(st.VolImages)
+		boot = ufsclust.WithRecovery(st.VolImages...)
 	}
 	m, err := ufsclust.New(w.RC, w.options(2, boot)...)
 	if err != nil {

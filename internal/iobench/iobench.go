@@ -17,6 +17,7 @@ import (
 	"ufsclust/internal/runner"
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
+	"ufsclust/internal/vec"
 	"ufsclust/internal/vol"
 )
 
@@ -41,14 +42,23 @@ const (
 	// a fixed-off run starves the sequential phase, so an adaptive
 	// policy must beat both.
 	FMX Kind = "FMX" // mixed sequential/random read
+
+	// FSTR is the strided vectored-read cell: Readv calls of VecBatch
+	// Record-sized pieces whose starts are Stride bytes apart. Density
+	// (Record/Stride) is the cell's real parameter — dense strides favour
+	// data sieving (one envelope read, some waste), sparse strides favour
+	// true list I/O (per-run transfers, no waste) — so sweeping Stride
+	// with each vec strategy reproduces the sieve/list crossover of
+	// Ching et al.'s noncontiguous-I/O study.
+	FSTR Kind = "FSTR" // strided vectored read
 )
 
 // Kinds returns the paper's column order.
 func Kinds() []Kind { return []Kind{FSR, FSU, FSW, FRR, FRU} }
 
 // AllKinds returns every supported I/O type: the paper's five plus the
-// mixed read cell.
-func AllKinds() []Kind { return []Kind{FSR, FSU, FSW, FRR, FRU, FMX} }
+// mixed read cell and the strided vectored-read cell.
+func AllKinds() []Kind { return []Kind{FSR, FSU, FSW, FRR, FRU, FMX, FSTR} }
 
 // MixedPhases is the number of sequential/random phase pairs in an FMX
 // run.
@@ -71,6 +81,24 @@ func PolicyFactory(name string) (func() prefetch.Policy, bool) {
 		return func() prefetch.Policy { return prefetch.NewAdaptive(prefetch.AdaptiveConfig{}) }, true
 	case "off":
 		return func() prefetch.Policy { return prefetch.Off() }, true
+	}
+	return nil, false
+}
+
+// VecFactory maps a command-line vec-strategy name to a Params.Vec
+// factory: "auto" is nil (the engine's density-threshold default), and
+// "naive"/"sieve"/"list" force one method for every multi-element
+// vector. The second result is false for unknown names.
+func VecFactory(name string) (func() vec.Strategy, bool) {
+	switch strings.ToLower(name) {
+	case "auto", "":
+		return nil, true
+	case "naive":
+		return func() vec.Strategy { return vec.UseNaive() }, true
+	case "sieve":
+		return func() vec.Strategy { return vec.UseSieve() }, true
+	case "list":
+		return func() vec.Strategy { return vec.UseList() }, true
 	}
 	return nil, false
 }
@@ -107,6 +135,30 @@ type Params struct {
 	// (ufsclust.WithVolume) instead of the single sd0 — the -volmatrix
 	// sweep's cell configuration.
 	Volume *vol.Config
+
+	// Record and Stride shape the FSTR cell: each vector element reads
+	// Record bytes, element starts are Stride bytes apart. Defaults:
+	// Record = IOSize, Stride = 4*Record. Ignored by other kinds.
+	Record int
+	Stride int
+
+	// VecBatch is the number of elements per Readv call in FSTR;
+	// default 32.
+	VecBatch int
+
+	// Vec, when non-nil, is called once per machine to build that
+	// machine's Readv/Writev strategy (see ufsclust.WithVecStrategy).
+	// nil keeps the engine's density-threshold auto pick. A factory for
+	// symmetry with Policy, though today's strategies are stateless.
+	Vec func() vec.Strategy
+
+	// VecSingle, when set, routes every scalar Read/Write of the
+	// measured phase through a single-element Readv/Writev instead.
+	// Single-element vectors must degenerate to the scalar paths
+	// byte-for-byte, so a VecSingle run's trace and event stream must
+	// equal the plain run's — the golden-replay gate for the vectored
+	// entry points.
+	VecSingle bool
 }
 
 func (p Params) withDefaults() Params {
@@ -118,6 +170,15 @@ func (p Params) withDefaults() Params {
 	}
 	if p.RandomOps == 0 {
 		p.RandomOps = p.FileMB << 20 / p.IOSize
+	}
+	if p.Record == 0 {
+		p.Record = p.IOSize
+	}
+	if p.Stride == 0 {
+		p.Stride = 4 * p.Record
+	}
+	if p.VecBatch == 0 {
+		p.VecBatch = 32
 	}
 	return p
 }
@@ -163,6 +224,9 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 	if prm.Volume != nil {
 		opts = append(opts, ufsclust.WithVolume(*prm.Volume))
 	}
+	if prm.Vec != nil {
+		opts = append(opts, ufsclust.WithVecStrategy(prm.Vec()))
+	}
 	m, err := ufsclust.New(rc, opts...)
 	if err != nil {
 		return Result{}, telemetry.Snapshot{}, err
@@ -205,20 +269,34 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 		if prm.EventW != nil {
 			m.Tel.Bus.Subscribe(telemetry.NewJSONL(prm.EventW).Write)
 		}
+
+		// The measured phase's scalar ops, optionally rerouted through
+		// single-element vectors (the degeneration gate — see VecSingle).
+		read := func(off int64, b []byte) (int, error) { return f.Read(p, off, b) }
+		write := func(off int64, b []byte) (int, error) { return f.Write(p, off, b) }
+		if prm.VecSingle {
+			read = func(off int64, b []byte) (int, error) {
+				return f.Readv(p, []ufsclust.Ext{{Off: off, Len: int64(len(b))}}, b)
+			}
+			write = func(off int64, b []byte) (int, error) {
+				return f.Writev(p, []ufsclust.Ext{{Off: off, Len: int64(len(b))}}, b)
+			}
+		}
+
 		pre := m.Snapshot()
 		t0 := p.Now()
 
 		switch kind {
 		case FSR:
 			for off := int64(0); off < size; off += int64(prm.IOSize) {
-				if _, runErr = f.Read(p, off, chunk); runErr != nil {
+				if _, runErr = read(off, chunk); runErr != nil {
 					return
 				}
 			}
 			res.Bytes = size
 		case FSU, FSW:
 			for off := int64(0); off < size; off += int64(prm.IOSize) {
-				if _, runErr = f.Write(p, off, chunk); runErr != nil {
+				if _, runErr = write(off, chunk); runErr != nil {
 					return
 				}
 			}
@@ -230,7 +308,7 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 			nblocks := size / int64(prm.IOSize)
 			for i := 0; i < prm.RandomOps; i++ {
 				off := rng.Int63n(nblocks) * int64(prm.IOSize)
-				if _, runErr = f.Read(p, off, chunk); runErr != nil {
+				if _, runErr = read(off, chunk); runErr != nil {
 					return
 				}
 			}
@@ -239,7 +317,7 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 			nblocks := size / int64(prm.IOSize)
 			for i := 0; i < prm.RandomOps; i++ {
 				off := rng.Int63n(nblocks) * int64(prm.IOSize)
-				if _, runErr = f.Write(p, off, chunk); runErr != nil {
+				if _, runErr = write(off, chunk); runErr != nil {
 					return
 				}
 			}
@@ -265,7 +343,7 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 					hi = size
 				}
 				for off := lo; off < hi; off += int64(prm.IOSize) {
-					if _, runErr = f.Read(p, off, chunk); runErr != nil {
+					if _, runErr = read(off, chunk); runErr != nil {
 						return
 					}
 					moved += int64(prm.IOSize)
@@ -277,12 +355,43 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 						if off >= size {
 							break
 						}
-						if _, runErr = f.Read(p, off, chunk); runErr != nil {
+						if _, runErr = read(off, chunk); runErr != nil {
 							return
 						}
 						moved += int64(prm.IOSize)
 					}
 				}
+			}
+			res.Bytes = moved
+		case FSTR:
+			// Strided vectored read: VecBatch Record-sized pieces per
+			// Readv, starts Stride bytes apart, walking the whole file.
+			record := int64(prm.Record)
+			stride := int64(prm.Stride)
+			v := make([]ufsclust.Ext, 0, prm.VecBatch)
+			buf := make([]byte, record*int64(prm.VecBatch))
+			var moved int64
+			flush := func() bool {
+				if len(v) == 0 {
+					return true
+				}
+				n, err := f.Readv(p, v, buf[:record*int64(len(v))])
+				if err != nil {
+					runErr = err
+					return false
+				}
+				moved += int64(n)
+				v = v[:0]
+				return true
+			}
+			for off := int64(0); off+record <= size; off += stride {
+				v = append(v, ufsclust.Ext{Off: off, Len: record})
+				if len(v) == prm.VecBatch && !flush() {
+					return
+				}
+			}
+			if !flush() {
+				return
 			}
 			res.Bytes = moved
 		default:

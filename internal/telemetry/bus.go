@@ -42,6 +42,12 @@ type EventKind uint8
 //	              member.
 //	EvMemberFail  a volume marked a member device failed (media give-up
 //	              or administrative kill); Depth is the member index.
+//	EvVecIO       the engine executed a vectored Readv/Writev: LBN is the
+//	              envelope's first file block, Bytes the payload, Blocks
+//	              the merged-run count, Depth the chosen method (0 naive,
+//	              1 sieve, 2 list). Single-element vectors degenerate to
+//	              the scalar paths and emit nothing, so pre-vec streams
+//	              replay byte-for-byte.
 //
 // New kinds are appended, never inserted: the wire names below are part
 // of the JSONL stream format that committed golden fixtures replay.
@@ -63,6 +69,7 @@ const (
 	EvParityRMW
 	EvDegradedRead
 	EvMemberFail
+	EvVecIO
 	numEventKinds
 )
 
@@ -70,7 +77,7 @@ var kindNames = [numEventKinds]string{
 	"io_queue", "io_start", "io_done", "sync_read", "read_ahead",
 	"write_lie", "cluster_push", "free_behind", "pageout_scan",
 	"fault_inject", "io_retry", "io_giveup", "crash_cut", "ra_window",
-	"parity_rmw", "degraded_read", "member_fail",
+	"parity_rmw", "degraded_read", "member_fail", "vec_io",
 }
 
 // String returns the kind's snake_case wire name.

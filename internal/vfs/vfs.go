@@ -10,6 +10,7 @@ package vfs
 
 import (
 	"ufsclust/internal/sim"
+	"ufsclust/internal/vec"
 	"ufsclust/internal/vm"
 )
 
@@ -22,6 +23,15 @@ type File interface {
 	// Write copies buf into the file at off, allocating backing store
 	// as needed and handing dirty pages to PutPage on unmap.
 	Write(p *sim.Proc, off int64, data []byte) (int, error)
+	// Readv reads a vector of extents into buf, laid out element after
+	// element (the readv(2) iovec list flattened); the implementation
+	// may reorder and coalesce the transfers. A single-element vector
+	// must behave exactly like Read.
+	Readv(p *sim.Proc, v []vec.Ext, buf []byte) (int, error)
+	// Writev writes a vector of extents from data (same layout);
+	// overlapping elements apply in vector order. A single-element
+	// vector must behave exactly like Write.
+	Writev(p *sim.Proc, v []vec.Ext, data []byte) (int, error)
 	// Size returns the current file length.
 	Size() int64
 	// Fsync flushes delayed writes, waits for them to reach the platter,

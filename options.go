@@ -9,6 +9,7 @@ import (
 	"ufsclust/internal/fault"
 	"ufsclust/internal/prefetch"
 	"ufsclust/internal/ufs"
+	"ufsclust/internal/vec"
 	"ufsclust/internal/vol"
 )
 
@@ -84,6 +85,20 @@ func WithReadAhead(pol prefetch.Policy) Option {
 	}
 }
 
+// WithVecStrategy selects how Readv/Writev service multi-element
+// vectors (see internal/vec):
+//
+//	WithVecStrategy(vec.Auto(0))    // density-threshold sieve/list pick (the default)
+//	WithVecStrategy(vec.UseSieve()) // always data sieving
+//	WithVecStrategy(vec.UseList())  // always true list I/O
+//	WithVecStrategy(vec.UseNaive()) // per-piece baseline
+//
+// Single-element vectors always take the scalar Read/Write paths,
+// whatever the strategy.
+func WithVecStrategy(s vec.Strategy) Option {
+	return func(o *Options) { o.Engine.Vec = s }
+}
+
 // WithTelemetry streams every telemetry event to w as JSON Lines.
 // Same-seed runs produce byte-identical streams.
 func WithTelemetry(w io.Writer) Option {
@@ -109,11 +124,28 @@ func WithImage(img *disk.Image) Option {
 	return func(o *Options) { o.Image = img }
 }
 
+// WithRecovery boots from platter snapshots and runs ufs.Repair before
+// mounting — the reboot-and-fsck path after a power cut. One image
+// restores a bare-disk machine (disk.Disk's Snapshot); several restore
+// a volume machine's members in member order (vol.Volume.Snapshot).
+// The repair's report lands in Machine.RepairLog.
+func WithRecovery(imgs ...*disk.Image) Option {
+	return func(o *Options) {
+		o.RepairImage = true
+		o.VolImages = imgs
+		if len(imgs) == 1 {
+			o.Image = imgs[0]
+		}
+	}
+}
+
 // WithCrashRecovery boots from a platter snapshot and runs ufs.Repair
-// before mounting — the reboot-and-fsck path after a power cut. The
-// repair's report lands in Machine.RepairLog.
+// before mounting.
+//
+// Deprecated: use WithRecovery(img) — one variadic option now covers
+// bare-disk and volume machines.
 func WithCrashRecovery(img *disk.Image) Option {
-	return func(o *Options) { o.Image = img; o.RepairImage = true }
+	return WithRecovery(img)
 }
 
 // WithVolume composes the machine's storage from several member drives
@@ -138,9 +170,12 @@ func WithVolumeImages(imgs []*disk.Image) Option {
 }
 
 // WithVolumeCrashRecovery boots a volume machine from member snapshots
-// and runs ufs.Repair before mounting — WithCrashRecovery for arrays.
+// and runs ufs.Repair before mounting.
+//
+// Deprecated: use WithRecovery(imgs...) — one variadic option now
+// covers bare-disk and volume machines.
 func WithVolumeCrashRecovery(imgs []*disk.Image) Option {
-	return func(o *Options) { o.VolImages = imgs; o.RepairImage = true }
+	return WithRecovery(imgs...)
 }
 
 // New assembles a machine for one of the paper's run configurations,

@@ -27,6 +27,9 @@
 #                                          parallel iobench cells only by
 #                                          mistake; the race run proves a
 #                                          per-machine policy never is)
+#      go test -race ./internal/vec/...    (vec strategies run inline in
+#                                          Readv/Writev across parallel
+#                                          sweep cells)
 #      go test -race ./internal/vol/... ./internal/faultlab/...
 #                                          (volume machines run in
 #                                          parallel sweep workers; the
@@ -79,6 +82,9 @@ go test -race ./internal/fault/...
 
 echo "==> go test -race ./internal/prefetch/..."
 go test -race ./internal/prefetch/...
+
+echo "==> go test -race ./internal/vec/..."
+go test -race ./internal/vec/...
 
 echo "==> go test -race -short ./internal/vol/... ./internal/faultlab/..."
 go test -race -short ./internal/vol/... ./internal/faultlab/...

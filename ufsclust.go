@@ -34,12 +34,25 @@ import (
 	"ufsclust/internal/sim"
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/ufs"
+	"ufsclust/internal/vec"
 	"ufsclust/internal/vm"
 	"ufsclust/internal/vol"
 )
 
 // File is an open file handle on the simulated file system.
 type File = core.File
+
+// Ext is one element of a Readv/Writev I/O vector: Len bytes at file
+// offset Off (see internal/vec). Build vectors as []ufsclust.Ext and
+// pass them straight to File.Readv / File.Writev:
+//
+//	v := []ufsclust.Ext{{Off: 0, Len: 8192}, {Off: 65536, Len: 8192}}
+//	buf := make([]byte, 16384)
+//	n, err := f.Readv(p, v, buf)
+//
+// The strategy behind the call — data sieving vs. true list I/O — is
+// selected per machine with WithVecStrategy.
+type Ext = vec.Ext
 
 // Options configures a simulated machine. Zero values select the
 // paper's hardware: 12 MIPS, 8 MB memory, the 400 MB drive.
@@ -256,7 +269,10 @@ func (m *Machine) Snapshot() telemetry.Snapshot {
 // Delta the two instead; resetting shared counters makes back-to-back
 // measurements on one machine interfere. This shim now also zeroes the
 // ufs.Fs allocator and metadata-cache counters, which the original
-// field-poking version forgot.
+// field-poking version forgot. No in-tree caller remains; the shim is
+// kept for one more release cycle for external callers and will be
+// removed with the next breaking API revision (the Readv/Writev
+// follow-up that drops the pre-telemetry compatibility surface).
 func (m *Machine) ResetStats() {
 	if m.Vol != nil {
 		m.Vol.ResetStats()
