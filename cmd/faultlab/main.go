@@ -7,7 +7,7 @@
 // Usage:
 //
 //	faultlab [-run A] [-file MB] [-fsync BYTES] [-cuts N] [-parallel N] [-seed S]
-//	         [-vol LEVEL] [-members N] [-stripe KB] [-degraded I,J]
+//	         [-journal MODE] [-vol LEVEL] [-members N] [-stripe KB] [-degraded I,J]
 //	faultlab -vol raid1 -members 2 -losemember 1
 //
 // With -vol the workload runs on a composed volume (concat, raid0,
@@ -18,6 +18,11 @@
 // hard media fault on that member's first read, and verify a redundant
 // volume serves every byte (then rebuilds), while a stripe set reports
 // the loss.
+//
+// With -journal wal (or wal-clustered) the machine runs a metadata
+// journal and every recovery goes through log replay instead of
+// full-image repair; the report then carries the replay accounting
+// (sectors read against the log-size bound).
 //
 // Exit status is 1 if any cut produces a crash-consistency violation
 // (lost acknowledged data, corrupt bytes, or a dirty post-repair check).
@@ -32,6 +37,7 @@ import (
 	"ufsclust"
 	"ufsclust/internal/faultlab"
 	"ufsclust/internal/vol"
+	"ufsclust/internal/wal"
 )
 
 func main() {
@@ -41,6 +47,7 @@ func main() {
 	cuts := flag.Int("cuts", 50, "number of evenly spaced crash points")
 	parallel := flag.Int("parallel", 0, "host workers (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 42, "workload seed (pattern + sim)")
+	jmode := flag.String("journal", "off", "metadata journal (off, wal, wal-clustered)")
 	volLevel := flag.String("vol", "", "run on a volume: concat, raid0|stripe, raid1|mirror, raid5")
 	members := flag.Int("members", 0, "volume member count (default per level)")
 	stripe := flag.Int("stripe", 0, "stripe unit in KB for raid0/raid5 (default 32)")
@@ -61,6 +68,16 @@ func main() {
 	}
 
 	w := faultlab.Workload{RC: rc, FileMB: *fileMB, FsyncEvery: *fsync, Seed: *seed}
+	switch *jmode {
+	case "off":
+	case "wal":
+		w.Journal = &wal.Config{}
+	case "wal-clustered":
+		w.Journal = &wal.Config{Clustered: true}
+	default:
+		fmt.Fprintf(os.Stderr, "faultlab: unknown journal mode %q\n", *jmode)
+		os.Exit(2)
+	}
 	if *volLevel != "" {
 		lvl, ok := vol.ParseLevel(*volLevel)
 		if !ok {

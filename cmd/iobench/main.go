@@ -8,6 +8,7 @@
 //	iobench -ramatrix BENCH_iobench.json
 //	iobench -volmatrix BENCH_iobench.json
 //	iobench -vecmatrix BENCH_iobench.json
+//	iobench -jmatrix BENCH_iobench.json
 //
 // -parallel runs the (run, kind) matrix on N host workers (0 means
 // GOMAXPROCS). Every cell is an independent deterministic simulation,
@@ -29,9 +30,16 @@
 // the crossover of Ching et al.'s noncontiguous-I/O study — and the
 // auto rows show the density cutoff tracking the winner.
 //
+// -jmatrix writes the metadata-journal comparison: journal mode (off,
+// per-record, clustered) × {FSW, FSR} on runs A and B, with transfer
+// rates and the wal commit/checkpoint counters. The write cells price
+// the log's steady-state cost (every metadata update commits twice:
+// once to the log, once at checkpoint); the read cells pin that a
+// journal is free when nothing dirties metadata.
+//
 // All matrix flags merge their section into the same JSON report file
-// ({"ramatrix": ..., "volmatrix": ..., "vecmatrix": ...}), so bench.sh
-// can refresh them independently.
+// ({"ramatrix": ..., "volmatrix": ..., "vecmatrix": ..., "jmatrix":
+// ...}), so bench.sh can refresh them independently.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"ufsclust"
 	"ufsclust/internal/iobench"
 	"ufsclust/internal/vol"
+	"ufsclust/internal/wal"
 )
 
 // writeSection merges one named section into the JSON report at path,
@@ -54,7 +63,7 @@ func writeSection(path, key string, section any) error {
 	if b, err := os.ReadFile(path); err == nil {
 		var old map[string]json.RawMessage
 		if json.Unmarshal(b, &old) == nil {
-			for _, k := range []string{"ramatrix", "volmatrix", "vecmatrix"} {
+			for _, k := range []string{"ramatrix", "volmatrix", "vecmatrix", "jmatrix"} {
 				if v, ok := old[k]; ok {
 					full[k] = v
 				}
@@ -237,6 +246,62 @@ func vecMatrix(path string, fileMB int) error {
 	return writeSection(path, "vecmatrix", report)
 }
 
+// jCell is one matrix entry in the -jmatrix report.
+type jCell struct {
+	Run              string  `json:"run"`
+	Journal          string  `json:"journal"`
+	Kind             string  `json:"kind"`
+	RateKBs          float64 `json:"rate_kbs"`
+	Commits          int64   `json:"wal_commits,omitempty"`
+	CommitSectors    int64   `json:"wal_commit_sectors,omitempty"`
+	Checkpoints      int64   `json:"wal_checkpoints,omitempty"`
+	CheckpointBlocks int64   `json:"wal_checkpoint_blocks,omitempty"`
+	JournalMetaWr    int64   `json:"journal_meta_writes,omitempty"`
+}
+
+// jMatrix writes the journal cost comparison: each journal mode (off,
+// per-record commits, clustered commits) against the sequential write
+// and read cells on runs A and B. FSW is where the log charges rent —
+// the file grows, so every fsync interval commits inode and indirect
+// block updates to the log before their home locations — and FSR is
+// the control: a read-only steady state stages nothing, so the rate
+// must match the unjournaled machine to the digit.
+func jMatrix(path string, fileMB int) error {
+	modes := []struct {
+		name string
+		cfg  *wal.Config
+	}{
+		{"off", nil},
+		{"wal", &wal.Config{}},
+		{"wal-clustered", &wal.Config{Clustered: true}},
+	}
+	report := struct {
+		FileMB int      `json:"file_mb"`
+		Kinds  []string `json:"kinds"`
+		Cells  []jCell  `json:"cells"`
+	}{FileMB: fileMB, Kinds: []string{string(iobench.FSW), string(iobench.FSR)}}
+	for _, rc := range []ufsclust.RunConfig{ufsclust.RunA(), ufsclust.RunB()} {
+		for _, mode := range modes {
+			for _, kind := range []iobench.Kind{iobench.FSW, iobench.FSR} {
+				prm := iobench.Params{FileMB: fileMB, Journal: mode.cfg}
+				res, snap, err := iobench.RunMeasured(rc, kind, prm)
+				if err != nil {
+					return fmt.Errorf("%s %s %s: %w", rc.Name, mode.name, kind, err)
+				}
+				report.Cells = append(report.Cells, jCell{
+					Run: rc.Name, Journal: mode.name, Kind: string(kind), RateKBs: res.RateKBs(),
+					Commits:          snap.Get("wal.commits"),
+					CommitSectors:    snap.Get("wal.commit_sectors"),
+					Checkpoints:      snap.Get("wal.checkpoints"),
+					CheckpointBlocks: snap.Get("wal.checkpoint_blocks"),
+					JournalMetaWr:    snap.Get("fs.journal_meta_writes"),
+				})
+			}
+		}
+	}
+	return writeSection(path, "jmatrix", report)
+}
+
 func main() {
 	fileMB := flag.Int("file", 16, "benchmark file size in MB")
 	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
@@ -245,6 +310,7 @@ func main() {
 	matrix := flag.String("ramatrix", "", "write the read-ahead policy matrix to this JSON file and exit")
 	volmat := flag.String("volmatrix", "", "write the volume (RAID level x stripe) matrix to this JSON file and exit")
 	vecmat := flag.String("vecmatrix", "", "write the vectored-I/O (stride x strategy) matrix to this JSON file and exit")
+	jmat := flag.String("jmatrix", "", "write the metadata-journal (mode x kind) matrix to this JSON file and exit")
 	list := flag.Bool("list", false, "print Figure 9 (run descriptions) and exit")
 	ratiosOnly := flag.Bool("ratios", false, "print only Figure 11 (ratios)")
 	parallel := flag.Int("parallel", 1, "host workers for the run×kind matrix (0 = GOMAXPROCS)")
@@ -265,6 +331,7 @@ func main() {
 	runMatrix(*matrix, raMatrix)
 	runMatrix(*volmat, func(p string) error { return volMatrix(p, 2) })
 	runMatrix(*vecmat, func(p string) error { return vecMatrix(p, 8) })
+	runMatrix(*jmat, func(p string) error { return jMatrix(p, 8) })
 	if anyMatrix {
 		return
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	simstat [-run A] [-kind FSR] [-ra fixed] [-vec auto] [-record B] [-stride B] [-file MB] [-ops N] [-mem MB] [-seed N] [-jsonl file]
+//	simstat [-run A] [-kind FSR] [-ra fixed] [-vec auto] [-record B] [-stride B] [-file MB] [-ops N] [-mem MB] [-seed N] [-journal mode] [-jsonl file]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"ufsclust"
 	"ufsclust/internal/iobench"
+	"ufsclust/internal/wal"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	ops := flag.Int("ops", 0, "random-phase operations (default file/8KB)")
 	memMB := flag.Int("mem", 0, "override physical memory in MB (0 = run default)")
 	seed := flag.Int64("seed", 0, "workload RNG seed")
+	jmode := flag.String("journal", "off", "metadata journal (off, wal, wal-clustered)")
 	jsonl := flag.String("jsonl", "", "write the measured phase's event stream to this file as JSON lines (- for stdout)")
 	flag.Parse()
 
@@ -68,6 +70,16 @@ func main() {
 
 	prm := iobench.Params{FileMB: *fileMB, RandomOps: *ops, Seed: *seed, Policy: pol,
 		Vec: vfac, Record: *record, Stride: *stride}
+	switch *jmode {
+	case "off":
+	case "wal":
+		prm.Journal = &wal.Config{}
+	case "wal-clustered":
+		prm.Journal = &wal.Config{Clustered: true}
+	default:
+		fmt.Fprintf(os.Stderr, "simstat: unknown journal mode %q\n", *jmode)
+		os.Exit(2)
+	}
 	if *memMB > 0 {
 		prm.MemBytes = int64(*memMB) << 20
 	}
@@ -98,6 +110,11 @@ func main() {
 		fmt.Printf("vectored %s: %d calls, %d runs (%d coalesced), %d sieve-waste bytes, %d list transfers\n",
 			*vecFlag, calls, snap.Get("core.vec_runs"), snap.Get("core.vec_coalesced"),
 			snap.Get("core.sieve_waste"), snap.Get("driver.vec_queued"))
+	}
+	if prm.Journal != nil {
+		fmt.Printf("journal %s: %d commits (%d blocks, %d sectors), %d checkpoints (%d blocks), %d staged metadata writes\n",
+			*jmode, snap.Get("wal.commits"), snap.Get("wal.commit_blocks"), snap.Get("wal.commit_sectors"),
+			snap.Get("wal.checkpoints"), snap.Get("wal.checkpoint_blocks"), snap.Get("fs.journal_meta_writes"))
 	}
 	fmt.Println()
 	snap.Format(os.Stdout)

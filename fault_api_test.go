@@ -56,9 +56,10 @@ func TestMetricsManifest(t *testing.T) {
 	}
 }
 
-func TestResetStatsCoversFaultCounters(t *testing.T) {
-	// A transient write failure bumps the fault and retry counters;
-	// ResetStats must zero them like every other stat.
+func TestFaultCountersMeasuredBySnapshotDelta(t *testing.T) {
+	// A transient write failure bumps the fault and retry counters, and
+	// Snapshot/Delta isolates the measured phase without resetting
+	// anything — the pattern that replaced the removed ResetStats shim.
 	m, err := New(RunA(), WithFaultPlan(fault.Plan{Rules: []fault.Rule{
 		fault.FailNth(1, fault.Writes, 1),
 	}}))
@@ -83,21 +84,22 @@ func TestResetStatsCoversFaultCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre := m.Snapshot()
-	if pre.Get("fault.media_injected") != 1 {
-		t.Fatalf("fault.media_injected = %d, want 1", pre.Get("fault.media_injected"))
-	}
-	if pre.Get("driver.retries") != 1 {
-		t.Fatalf("driver.retries = %d, want 1", pre.Get("driver.retries"))
-	}
-	m.ResetStats()
 	post := m.Snapshot()
+	if post.Get("fault.media_injected") != 1 {
+		t.Fatalf("fault.media_injected = %d, want 1", post.Get("fault.media_injected"))
+	}
+	if post.Get("driver.retries") != 1 {
+		t.Fatalf("driver.retries = %d, want 1", post.Get("driver.retries"))
+	}
+	// A quiet interval deltas to zero for every fault-path counter: no
+	// residue, no interference between back-to-back measurements.
+	quiet := m.Snapshot().Delta(post)
 	for _, name := range []string{
 		"fault.media_injected", "fault.cuts",
 		"driver.retries", "driver.giveups", "disk.media_errors",
 	} {
-		if v := post.Get(name); v != 0 {
-			t.Errorf("%s = %d after ResetStats, want 0", name, v)
+		if v := quiet.Get(name); v != 0 {
+			t.Errorf("%s = %d across a quiet interval, want 0", name, v)
 		}
 	}
 }

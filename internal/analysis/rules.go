@@ -48,6 +48,10 @@ var modelPkgs = map[string]bool{
 	// vec strategies run inline in Readv/Writev and their picks feed
 	// the byte-identical event streams, like the prefetch policies.
 	modulePath + "/internal/vec": true,
+	// the journal's commit and checkpoint paths run in process context
+	// between the file system and the driver; a stray goroutine or map
+	// walk there would desync the log layout across replays.
+	modulePath + "/internal/wal": true,
 }
 
 func isInternal(path string) bool {
@@ -89,5 +93,5 @@ func ToolingPackage(path string) bool { return toolingPkgs[path] }
 
 // ModelPackage reports whether path is one of the simulation-model
 // packages (core, ufs, vm, disk, driver, extfs, telemetry, fault,
-// prefetch, vol).
+// prefetch, vol, vec, wal).
 func ModelPackage(path string) bool { return modelPkgs[path] }

@@ -6,7 +6,7 @@ import (
 )
 
 // Stats counts injector activity. Covered by the root registry as
-// fault.* counters and zeroed by Machine.ResetStats.
+// fault.* counters; measure intervals with Snapshot/Delta.
 type Stats struct {
 	MediaInjected int64 // failed transfer attempts delivered to the drive
 	Cuts          int64 // power cuts delivered (0 or 1 per machine)
@@ -76,7 +76,6 @@ type Injector struct {
 	onCrash []func(cut sim.Time)
 	bus     *telemetry.Bus
 
-	// Stats is exported for the root ResetStats shim.
 	Stats Stats
 }
 

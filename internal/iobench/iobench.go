@@ -19,6 +19,7 @@ import (
 	"ufsclust/internal/telemetry"
 	"ufsclust/internal/vec"
 	"ufsclust/internal/vol"
+	"ufsclust/internal/wal"
 )
 
 // Kind is one IObench I/O type.
@@ -136,6 +137,11 @@ type Params struct {
 	// sweep's cell configuration.
 	Volume *vol.Config
 
+	// Journal, when non-nil, runs the benchmark on a journaled machine
+	// (ufsclust.WithJournal) — the -jmatrix sweep's cell configuration
+	// for measuring the log's steady-state write amplification.
+	Journal *wal.Config
+
 	// Record and Stride shape the FSTR cell: each vector element reads
 	// Record bytes, element starts are Stride bytes apart. Defaults:
 	// Record = IOSize, Stride = 4*Record. Ignored by other kinds.
@@ -223,6 +229,9 @@ func RunMeasured(rc ufsclust.RunConfig, kind Kind, prm Params) (Result, telemetr
 	}
 	if prm.Volume != nil {
 		opts = append(opts, ufsclust.WithVolume(*prm.Volume))
+	}
+	if prm.Journal != nil {
+		opts = append(opts, ufsclust.WithJournal(*prm.Journal))
 	}
 	if prm.Vec != nil {
 		opts = append(opts, ufsclust.WithVecStrategy(prm.Vec()))

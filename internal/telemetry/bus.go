@@ -48,6 +48,17 @@ type EventKind uint8
 //	              1 sieve, 2 list). Single-element vectors degenerate to
 //	              the scalar paths and emit nothing, so pre-vec streams
 //	              replay byte-for-byte.
+//	EvLogCommit   the metadata journal committed a transaction: Sector is
+//	              the log sector the record landed at, Bytes the record
+//	              size, Blocks the metadata blocks it carries. Emitted
+//	              only on journaled machines (WithJournal), so default
+//	              streams replay the pre-journal fixtures byte-for-byte.
+//	EvLogCheckpoint the journal wrote its committed blocks home and reset
+//	              the log: Blocks is the blocks written in place, Depth
+//	              the new log epoch.
+//	EvLogReplay   boot recovery replayed the journal: Blocks is the
+//	              transactions applied, Bytes the sectors read, Depth the
+//	              sectors written.
 //
 // New kinds are appended, never inserted: the wire names below are part
 // of the JSONL stream format that committed golden fixtures replay.
@@ -70,6 +81,9 @@ const (
 	EvDegradedRead
 	EvMemberFail
 	EvVecIO
+	EvLogCommit
+	EvLogCheckpoint
+	EvLogReplay
 	numEventKinds
 )
 
@@ -78,6 +92,7 @@ var kindNames = [numEventKinds]string{
 	"write_lie", "cluster_push", "free_behind", "pageout_scan",
 	"fault_inject", "io_retry", "io_giveup", "crash_cut", "ra_window",
 	"parity_rmw", "degraded_read", "member_fail", "vec_io",
+	"log_commit", "log_checkpoint", "log_replay",
 }
 
 // String returns the kind's snake_case wire name.

@@ -61,15 +61,6 @@ func (h *Histogram) Observe(v int64) {
 	h.n++
 }
 
-// Reset zeroes the histogram (deprecated ResetStats path only).
-func (h *Histogram) Reset() {
-	for i := range h.counts {
-		h.counts[i] = 0
-	}
-	h.sum = 0
-	h.n = 0
-}
-
 // HistSnapshot is a histogram's state inside a Snapshot.
 type HistSnapshot struct {
 	Name   string

@@ -9,7 +9,6 @@ import (
 func TestHistogramBucketBoundaries(t *testing.T) {
 	// Bounds are upper-inclusive: v lands in the first bucket whose
 	// bound is >= v.
-	h := NewHistogram("t", UnitCount, []int64{10, 20, 40})
 	cases := []struct {
 		v      int64
 		bucket int
@@ -21,7 +20,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		{-5, 0}, // below the first bound
 	}
 	for _, c := range cases {
-		h.Reset()
+		h := NewHistogram("t", UnitCount, []int64{10, 20, 40})
 		h.Observe(c.v)
 		s := h.snapshot()
 		for i, n := range s.Counts {

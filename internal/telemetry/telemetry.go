@@ -101,14 +101,6 @@ func (r *Registry) Hist(h *Histogram) *Histogram {
 	return h
 }
 
-// ResetHists zeroes every registered histogram. Only the deprecated
-// ResetStats path uses it; Snapshot/Delta callers never need it.
-func (r *Registry) ResetHists() {
-	for _, h := range r.hists {
-		h.Reset()
-	}
-}
-
 // Entry is one metric value inside a snapshot.
 type Entry struct {
 	Name  string

@@ -39,6 +39,12 @@ type Bcache struct {
 	nbuf int
 	seq  int64
 
+	// journal, when attached, pins dirty buffers in memory (the next
+	// commit stages them; writing them in place would publish
+	// uncommitted state) and backfills cache misses whose home copy on
+	// disk is stale (committed but not yet checkpointed).
+	journal MetaJournal
+
 	// err is the sticky first I/O error: every failed metadata
 	// transfer records here, including ones with no caller to return
 	// to (evictions, ordered-write completions, delayed writes).
@@ -90,6 +96,13 @@ func (bc *Bcache) getblk(p *sim.Proc, fsbn int32) *MBuf {
 	for len(bc.bufs) >= bc.nbuf {
 		victim := bc.evictable()
 		if victim == nil {
+			if bc.journal != nil {
+				// Every buffer is busy or dirty. Dirty buffers stay
+				// pinned until the next commit stages them, so grow
+				// past nbuf instead of writing uncommitted metadata
+				// in place; the commit drains the overshoot.
+				break
+			}
 			// Everything busy; wait for any release. Crude but rare.
 			p.Sleep(sim.Millisecond)
 			continue
@@ -117,7 +130,7 @@ func (bc *Bcache) evictable() *MBuf {
 	var victim *MBuf
 	for _, fsbn := range detsort.Keys(bc.bufs) {
 		b := bc.bufs[fsbn]
-		if b.busy {
+		if b.busy || (bc.journal != nil && b.dirty) {
 			continue
 		}
 		if victim == nil || b.lru < victim.lru {
@@ -145,6 +158,16 @@ func (bc *Bcache) Bread(p *sim.Proc, fsbn int32) (*MBuf, error) {
 		return b, nil
 	}
 	bc.Misses++
+	if bc.journal != nil {
+		if data := bc.journal.Peek(bc.sb.FsbToDb(b.Fsbn)); data != nil {
+			// The home copy on disk is stale: the block was committed
+			// to the log but not yet checkpointed. Fill from the
+			// journal's committed image instead of reading the disk.
+			copy(b.Data, data)
+			b.valid = true
+			return b, nil
+		}
+	}
 	done := false
 	var ioErr error
 	var q sim.WaitQ
@@ -236,6 +259,14 @@ func (bc *Bcache) BwriteOrdered(p *sim.Proc, b *MBuf) {
 // the dependency tracking soft updates later developed. The paper only
 // sketches B_ORDER; we implement the sketch.
 func (fs *Fs) metaWrite(p *sim.Proc, b *MBuf) error {
+	if fs.J != nil {
+		// Journaled: ordering and durability come from the commit that
+		// closes the enclosing transaction frame, so the write is just
+		// a delayed one — the commit stages it into the log.
+		fs.JournalMetaWrites++
+		fs.BC.Bdwrite(b)
+		return nil
+	}
 	if fs.OrderedWrites {
 		fs.OrderedMetaWrites++
 		fs.BC.BwriteOrdered(p, b)

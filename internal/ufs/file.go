@@ -87,7 +87,18 @@ func (fs *Fs) lookupParent(p *sim.Proc, path string) (*Inode, string, error) {
 }
 
 // Create makes a new regular file and returns its inode (referenced).
+// Like every top-level namespace operation it runs inside a journal
+// transaction frame when a journal is attached: the synchronous
+// metadata writes below degrade to delayed ones and the closing jEnd
+// commits them all with one sequential log write.
 func (fs *Fs) Create(p *sim.Proc, path string) (*Inode, error) {
+	fs.jBegin(p)
+	ip, err := fs.create(p, path)
+	fs.jEnd(p, &err)
+	return ip, err
+}
+
+func (fs *Fs) create(p *sim.Proc, path string) (*Inode, error) {
 	dip, name, err := fs.lookupParent(p, path)
 	if err != nil {
 		return nil, err
@@ -124,6 +135,13 @@ func (fs *Fs) Create(p *sim.Proc, path string) (*Inode, error) {
 
 // Mkdir creates a directory.
 func (fs *Fs) Mkdir(p *sim.Proc, path string) (*Inode, error) {
+	fs.jBegin(p)
+	ip, err := fs.mkdir(p, path)
+	fs.jEnd(p, &err)
+	return ip, err
+}
+
+func (fs *Fs) mkdir(p *sim.Proc, path string) (*Inode, error) {
 	dip, name, err := fs.lookupParent(p, path)
 	if err != nil {
 		return nil, err
@@ -174,6 +192,13 @@ func (fs *Fs) Mkdir(p *sim.Proc, path string) (*Inode, error) {
 // Remove unlinks a file or empty directory and frees its storage when
 // the link count reaches zero.
 func (fs *Fs) Remove(p *sim.Proc, path string) error {
+	fs.jBegin(p)
+	err := fs.remove(p, path)
+	fs.jEnd(p, &err)
+	return err
+}
+
+func (fs *Fs) remove(p *sim.Proc, path string) error {
 	dip, name, err := fs.lookupParent(p, path)
 	if err != nil {
 		return err
@@ -235,6 +260,13 @@ func (fs *Fs) Remove(p *sim.Proc, path string) error {
 // blocks past the new end. Growing just updates the length: UFS files
 // are sparse by default.
 func (fs *Fs) Truncate(p *sim.Proc, ip *Inode, size int64) error {
+	fs.jBegin(p)
+	err := fs.truncate(p, ip, size)
+	fs.jEnd(p, &err)
+	return err
+}
+
+func (fs *Fs) truncate(p *sim.Proc, ip *Inode, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("ufs: negative truncate")
 	}
@@ -386,6 +418,13 @@ const MaxFastLink = (NDADDR + NIADDR) * 4
 // up to MaxFastLink bytes live in the inode itself (a "fast symlink");
 // longer targets are unsupported in this reproduction.
 func (fs *Fs) Symlink(p *sim.Proc, path, target string) error {
+	fs.jBegin(p)
+	err := fs.symlink(p, path, target)
+	fs.jEnd(p, &err)
+	return err
+}
+
+func (fs *Fs) symlink(p *sim.Proc, path, target string) error {
 	if len(target) == 0 || len(target) > MaxFastLink {
 		return fmt.Errorf("ufs: symlink target length %d unsupported (max %d)", len(target), MaxFastLink)
 	}
@@ -452,6 +491,13 @@ func (fs *Fs) Readlink(ip *Inode) (string, error) {
 // Rename moves oldPath to newPath (files or empty-target semantics: an
 // existing regular file at newPath is replaced).
 func (fs *Fs) Rename(p *sim.Proc, oldPath, newPath string) error {
+	fs.jBegin(p)
+	err := fs.rename(p, oldPath, newPath)
+	fs.jEnd(p, &err)
+	return err
+}
+
+func (fs *Fs) rename(p *sim.Proc, oldPath, newPath string) error {
 	odip, oname, err := fs.lookupParent(p, oldPath)
 	if err != nil {
 		return err

@@ -37,9 +37,15 @@ type Fs struct {
 	// writes the driver may not reorder (Further Work: "B_ORDER").
 	OrderedWrites bool
 
+	// J, when non-nil, is the attached write-ahead metadata journal
+	// (see MetaJournal in journal.go): metadata writes become delayed
+	// writes committed by transaction, and Sync checkpoints the log.
+	J MetaJournal
+
 	// Stats for the future-work features.
 	BmapCacheHits                     int64
 	SyncMetaWrites, OrderedMetaWrites int64
+	JournalMetaWrites                 int64
 
 	// rotor for cylinder-group selection of new files.
 	cgRotor int32
@@ -229,6 +235,18 @@ func (fs *Fs) storeCG(p *sim.Proc, cg *CG) error {
 // virtual time — is identical on every run. Like update(8), it keeps
 // going past failures and returns the first error.
 func (fs *Fs) Sync(p *sim.Proc) error {
+	if fs.J != nil {
+		// Journaled: one commit captures every dirty inode, buffer,
+		// and the superblock (StageCommit sweeps them all), then the
+		// checkpoint writes the committed blocks home and resets the
+		// log — after Sync the image itself is current.
+		fs.J.Begin(p)
+		err := fs.J.End(p)
+		if cerr := fs.J.Checkpoint(p); err == nil {
+			err = cerr
+		}
+		return err
+	}
 	var firstErr error
 	keep := func(err error) {
 		if firstErr == nil && err != nil {
@@ -259,6 +277,15 @@ func (fs *Fs) Sync(p *sim.Proc) error {
 // before the inode that makes them reachable, mirroring the data-
 // before-pointers ordering the caller already provided.
 func (fs *Fs) SyncInode(p *sim.Proc, ip *Inode) error {
+	if fs.J != nil {
+		// Journaled fsync: the commit's single sequential log write
+		// carries the inode, its indirect blocks, the bitmaps, and the
+		// superblock atomically — the data-before-pointers sequencing
+		// below exists only to order in-place writes, which no longer
+		// happen.
+		fs.J.Begin(p)
+		return fs.J.End(p)
+	}
 	if ib := ip.D.IB[1]; ib != 0 {
 		b, err := fs.BC.Bread(p, ib)
 		if err != nil {
@@ -303,6 +330,13 @@ func (fs *Fs) IOErr() error { return fs.BC.Err() }
 // image with no simulated time, so fsck and direct image inspection see
 // a consistent file system.
 func (fs *Fs) SyncImage() {
+	if fs.J != nil {
+		// Write the journal's committed copies home first (clean cache
+		// buffers may have been staged and dropped, so the cache alone
+		// no longer covers them); the spill below then overwrites with
+		// any newer in-memory state, and the log comes back empty.
+		fs.J.CheckpointImage()
+	}
 	for _, ino := range detsort.Keys(fs.itable) {
 		ip := fs.itable[ino]
 		b := make([]byte, fs.SB.Bsize)

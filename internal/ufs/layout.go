@@ -100,6 +100,15 @@ type Superblock struct {
 	Time  int64 // last update
 	Clean int32 // clean-unmount flag
 	Fmod  int32 // superblock modified flag
+
+	// Metadata journal region (zero on unjournaled images — the fields
+	// were appended to the layout, so pre-journal superblocks decode
+	// with LogFrags == 0 and nothing changes for them). The log lives
+	// in the fragments [LogStart, LogStart+LogFrags), placed beyond
+	// Size so it is structurally invisible to Fsck and Repair, whose
+	// fragment maps are bounded by Size.
+	LogStart int32 // first fragment of the log region
+	LogFrags int32 // log region length in fragments (0 = no journal)
 }
 
 // SBSize is the marshaled superblock size budget (one fragment).

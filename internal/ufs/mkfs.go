@@ -20,6 +20,12 @@ type MkfsOpts struct {
 	Rotdelay  int // milliseconds between successive blocks
 	Maxcontig int // blocks per cluster when Rotdelay is 0
 	Maxbpg    int // blocks per file per group; default half a group
+
+	// LogBlocks reserves a metadata-journal region of that many blocks
+	// past the last cylinder group (0 = no journal; the image is then
+	// byte-identical to a pre-journal Mkfs). The region is recorded in
+	// Superblock.LogStart/LogFrags and consumed by internal/wal.
+	LogBlocks int
 }
 
 func (o MkfsOpts) withDefaults() MkfsOpts {
@@ -79,12 +85,20 @@ func Mkfs(d disk.Device, opts MkfsOpts) (*Superblock, error) {
 	sb.Ipg = (int32(o.Ipg) + ipb - 1) / ipb * ipb
 
 	totalFrags := g.TotalBytes() / int64(o.Fsize)
+	logFrags := int64(o.LogBlocks) * int64(sb.Frag)
 	sb.Fpg = int32(o.Cpg) * int32(spc) * disk.SectorSize / int32(o.Fsize)
-	sb.Ncg = int32(totalFrags / int64(sb.Fpg))
+	sb.Ncg = int32((totalFrags - logFrags) / int64(sb.Fpg))
 	if sb.Ncg < 1 {
-		return nil, fmt.Errorf("ufs: disk too small (%d frags/group, %d total)", sb.Fpg, totalFrags)
+		return nil, fmt.Errorf("ufs: disk too small (%d frags/group, %d total, %d log)", sb.Fpg, totalFrags, logFrags)
 	}
 	sb.Size = sb.Ncg * sb.Fpg
+	if logFrags > 0 {
+		// The journal claims the fragments immediately past the last
+		// group. Fsck and Repair bound their shadow maps at Size, so
+		// the region cannot be claimed by files or flagged as lost.
+		sb.LogStart = sb.Size
+		sb.LogFrags = int32(logFrags)
+	}
 	if sb.MetaFrags() >= sb.Fpg {
 		return nil, fmt.Errorf("ufs: group metadata (%d frags) exceeds group size (%d)", sb.MetaFrags(), sb.Fpg)
 	}

@@ -3,9 +3,9 @@ package ufs
 import "ufsclust/internal/telemetry"
 
 // AttachTelemetry registers the file system's allocator and metadata
-// counters — the stats ResetStats historically forgot to zero, which
-// is why they live in the registry now: Snapshot/Delta measurement
-// needs no zeroing at all.
+// counters — the stats the late ResetStats shim historically forgot to
+// zero, which is why they live in the registry now: Snapshot/Delta
+// measurement needs no zeroing at all.
 func (fs *Fs) AttachTelemetry(tel *telemetry.Telemetry) {
 	r := tel.Reg
 	r.Counter("fs.bmap_calls", func() int64 { return fs.BmapCalls })
@@ -19,13 +19,4 @@ func (fs *Fs) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("fs.bc_misses", func() int64 { return fs.BC.Misses })
 	r.Counter("fs.bc_evictions", func() int64 { return fs.BC.Evictions })
 	r.Counter("fs.bc_writes", func() int64 { return fs.BC.Writes })
-}
-
-// ResetStats zeroes the file system's counters, including the metadata
-// buffer cache's. Only the deprecated Machine.ResetStats shim calls it.
-func (fs *Fs) ResetStats() {
-	fs.BmapCalls, fs.AllocCalls, fs.FragAllocs, fs.ReallocFrags = 0, 0, 0, 0
-	fs.BmapCacheHits = 0
-	fs.SyncMetaWrites, fs.OrderedMetaWrites = 0, 0
-	fs.BC.Hits, fs.BC.Misses, fs.BC.Evictions, fs.BC.Writes = 0, 0, 0, 0
 }

@@ -415,12 +415,3 @@ func (v *Volume) AttachTelemetry(tel *telemetry.Telemetry) {
 	r.Counter("vol.failovers", func() int64 { return v.Stats.Failovers })
 	r.Gauge("vol.failed_members", func() int64 { return int64(v.failedCount()) })
 }
-
-// ResetStats zeroes the volume's and every member's counters (the root
-// ResetStats shim).
-func (v *Volume) ResetStats() {
-	v.Stats = Stats{}
-	for _, d := range v.members {
-		d.Stats = disk.Stats{}
-	}
-}

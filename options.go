@@ -11,6 +11,7 @@ import (
 	"ufsclust/internal/ufs"
 	"ufsclust/internal/vec"
 	"ufsclust/internal/vol"
+	"ufsclust/internal/wal"
 )
 
 // Option adjusts the machine options derived from a RunConfig. Options
@@ -137,6 +138,26 @@ func WithRecovery(imgs ...*disk.Image) Option {
 			o.Image = imgs[0]
 		}
 	}
+}
+
+// WithJournal reserves an on-disk log region at mkfs time and mounts
+// the machine with the write-ahead metadata journal attached (see
+// internal/wal). Metadata mutations are grouped into transactions,
+// committed to the log with a checksum, and copied home lazily at
+// checkpoints; recovery after a power cut becomes a bounded log replay
+// instead of a full-image repair — WithRecovery notices the log region
+// in the restored superblock and replays it automatically:
+//
+//	m, _ := ufsclust.New(ufsclust.RunA(),
+//		ufsclust.WithJournal(wal.Config{}))
+//
+// The zero Config takes the defaults (64-block log, one log transfer
+// per record); Clustered batches each commit's log sectors into
+// MaxPhys-sized transfers. Without this option nothing changes: no log
+// region is reserved and every event stream is byte-identical to the
+// unjournaled machine.
+func WithJournal(cfg wal.Config) Option {
+	return func(o *Options) { o.Journal = &cfg }
 }
 
 // WithCrashRecovery boots from a platter snapshot and runs ufs.Repair

@@ -9,9 +9,11 @@
 # the read-ahead policy comparison matrix (policy x {FSR, FRR, FMX}
 # under memory pressure, simulated throughput and prefetch hit/waste
 # counters), the volume matrix (cluster size x RAID level x stripe
-# width, with the parity-path counters), and the vectored-I/O matrix
+# width, with the parity-path counters), the vectored-I/O matrix
 # (FSTR stride x Readv strategy, with the vec counters and the
-# sieve/list crossover) to BENCH_iobench.json.
+# sieve/list crossover), and the metadata-journal matrix (journal mode
+# x {FSW, FSR}, with the wal commit/checkpoint counters) to
+# BENCH_iobench.json.
 #
 # If a BENCH_sim.json already exists, its recorded baseline (the
 # pre-fast-path kernel, measured interleaved against the new one when
@@ -48,7 +50,7 @@ echo "bench: wrote BENCH_sim.json"
 echo "==> go build ./cmd/iobench"
 go build -o "$tmp/iobench" ./cmd/iobench
 
-echo "==> iobench -ramatrix -volmatrix -vecmatrix"
-"$tmp/iobench" -ramatrix "$tmp/BENCH_iobench.json" -volmatrix "$tmp/BENCH_iobench.json" -vecmatrix "$tmp/BENCH_iobench.json"
+echo "==> iobench -ramatrix -volmatrix -vecmatrix -jmatrix"
+"$tmp/iobench" -ramatrix "$tmp/BENCH_iobench.json" -volmatrix "$tmp/BENCH_iobench.json" -vecmatrix "$tmp/BENCH_iobench.json" -jmatrix "$tmp/BENCH_iobench.json"
 mv "$tmp/BENCH_iobench.json" BENCH_iobench.json
 echo "bench: wrote BENCH_iobench.json"

@@ -36,11 +36,17 @@
 #                                          race run proves no member or
 #                                          parity state leaks between
 #                                          host goroutines)
+#      go test -race ./internal/wal/...    (journaled machines run in
+#                                          parallel sweep workers; the
+#                                          race run proves log and frame
+#                                          state never crosses machines)
 #   6. faultlab smoke sweeps               8 crash points over a 2 MB
-#                                          write — once on the single
-#                                          drive, once on a degraded
-#                                          mirror; exits nonzero on any
-#                                          crash-consistency violation
+#                                          write — on the single drive,
+#                                          on a degraded mirror, and on
+#                                          a journaled machine (replay
+#                                          recovery); exits nonzero on
+#                                          any crash-consistency
+#                                          violation
 #   7. coverage summary                    go test -cover over the model
 #                                          packages, informational
 #
@@ -89,12 +95,18 @@ go test -race ./internal/vec/...
 echo "==> go test -race -short ./internal/vol/... ./internal/faultlab/..."
 go test -race -short ./internal/vol/... ./internal/faultlab/...
 
+echo "==> go test -race ./internal/wal/..."
+go test -race ./internal/wal/...
+
 echo "==> faultlab smoke sweep"
 go build -o "$tmp/faultlab" ./cmd/faultlab
 "$tmp/faultlab" -file 2 -fsync 262144 -cuts 8 -seed 7
 
 echo "==> faultlab smoke sweep (degraded mirror)"
 "$tmp/faultlab" -file 2 -fsync 262144 -cuts 8 -seed 7 -vol raid1 -degraded 1
+
+echo "==> faultlab smoke sweep (journaled, replay recovery)"
+"$tmp/faultlab" -file 2 -fsync 262144 -cuts 8 -seed 7 -journal wal
 
 echo "==> coverage summary (informational)"
 go test -cover ./internal/vol/ ./internal/core/ ./internal/ufs/ ./internal/disk/ ./internal/driver/ ./internal/faultlab/ 2>/dev/null | awk '{printf "    %-28s %s\n", $2, $5}'

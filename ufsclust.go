@@ -37,6 +37,7 @@ import (
 	"ufsclust/internal/vec"
 	"ufsclust/internal/vm"
 	"ufsclust/internal/vol"
+	"ufsclust/internal/wal"
 )
 
 // File is an open file handle on the simulated file system.
@@ -90,6 +91,13 @@ type Options struct {
 	// member snapshots (vol.Volume.Snapshot) instead.
 	Volume    *vol.Config
 	VolImages []*disk.Image
+
+	// Journal, when non-nil, reserves an on-disk log region at mkfs
+	// time and mounts the file system with the write-ahead metadata
+	// journal attached (see internal/wal). Machines restored from a
+	// journaled image attach the journal regardless — the mount follows
+	// the format, so a recovery boot never silently drops journaling.
+	Journal *wal.Config
 }
 
 // Machine is a fully assembled simulated system.
@@ -125,8 +133,20 @@ type Machine struct {
 	Fault *fault.Injector
 
 	// RepairLog is the crash-recovery report when the machine was
-	// built with RepairImage (WithCrashRecovery); nil otherwise.
+	// built with RepairImage (WithRecovery) and recovered by full-image
+	// repair; nil otherwise. Journaled machines recover by log replay
+	// instead — see ReplayLog.
 	RepairLog *ufs.RepairReport
+
+	// WAL is the write-ahead metadata journal on a journaled machine
+	// (WithJournal, or a restored image whose superblock carries a log
+	// region); nil otherwise.
+	WAL *wal.Log
+
+	// ReplayLog is the log-replay report when a journaled machine was
+	// built with RepairImage (WithRecovery): recovery replayed the
+	// journal instead of running ufs.Repair. Nil otherwise.
+	ReplayLog *wal.RecoverReport
 }
 
 // NewMachine builds a machine, formats its disk, and mounts it.
@@ -183,6 +203,7 @@ func NewMachine(o Options) (*Machine, error) {
 	}
 
 	var repairLog *ufs.RepairReport
+	var replayLog *wal.RecoverReport
 	restored := false
 	if vl != nil && o.VolImages != nil {
 		if err := vl.Restore(o.VolImages); err != nil {
@@ -195,17 +216,57 @@ func NewMachine(o Options) (*Machine, error) {
 	}
 	if restored {
 		if o.RepairImage {
-			repairLog, err = ufs.Repair(dev)
-			if err != nil {
-				return nil, fmt.Errorf("repair: %w", err)
+			// A journaled image recovers by log replay — cost bounded by
+			// the log region size — instead of the full-image sweep. The
+			// restored superblock says which kind it is; an unreadable
+			// primary superblock falls back to Repair, which knows how to
+			// search the alternates.
+			if sb, sbErr := ufs.ReadSuperblock(dev); sbErr == nil && sb.LogFrags > 0 {
+				base, sectors := logGeometry(sb)
+				replayLog, err = wal.Recover(dev, base, sectors, int(sb.Bsize))
+				if err != nil {
+					return nil, fmt.Errorf("wal recover: %w", err)
+				}
+			} else {
+				repairLog, err = ufs.Repair(dev)
+				if err != nil {
+					return nil, fmt.Errorf("repair: %w", err)
+				}
 			}
 		}
-	} else if _, err := ufs.Mkfs(dev, o.Mkfs); err != nil {
-		return nil, fmt.Errorf("mkfs: %w", err)
+	} else {
+		if o.Journal != nil && o.Mkfs.LogBlocks == 0 {
+			o.Mkfs.LogBlocks = o.Journal.Blocks()
+		}
+		sb, err := ufs.Mkfs(dev, o.Mkfs)
+		if err != nil {
+			return nil, fmt.Errorf("mkfs: %w", err)
+		}
+		if sb.LogFrags > 0 {
+			base, _ := logGeometry(sb)
+			wal.Format(dev, base)
+		}
 	}
 	fs, err := ufs.Mount(s, cm, dr, o.Mount)
 	if err != nil {
 		return nil, fmt.Errorf("mount: %w", err)
+	}
+	// The mount follows the format: any image whose superblock carries a
+	// log region gets the journal attached, whether this machine was
+	// built with WithJournal or restored from a journaled donor.
+	var jl *wal.Log
+	if fs.SB.LogFrags > 0 {
+		cfg := wal.Config{}
+		if o.Journal != nil {
+			cfg = *o.Journal
+		}
+		base, sectors := logGeometry(fs.SB)
+		jl, err = wal.New(s, dr, base, sectors, int(fs.SB.Bsize), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		jl.Flush = fs.StageCommit
+		fs.AttachJournal(jl)
 	}
 	v := vm.New(s, cm, vm.Config{MemBytes: o.MemBytes})
 	eng := core.NewEngine(s, cm, v, fs, o.Engine)
@@ -217,6 +278,12 @@ func NewMachine(o Options) (*Machine, error) {
 	}
 	dr.AttachTelemetry(tel)
 	fs.AttachTelemetry(tel)
+	if jl != nil {
+		// Journal metrics exist only on journaled machines, so the
+		// pinned metric manifest of a default machine never changes.
+		jl.AttachTelemetry(tel)
+		tel.Reg.Counter("fs.journal_meta_writes", func() int64 { return fs.JournalMetaWrites })
+	}
 	v.AttachTelemetry(tel)
 	eng.AttachTelemetry(tel)
 	if o.EventJSONL != nil {
@@ -226,8 +293,22 @@ func NewMachine(o Options) (*Machine, error) {
 	// lines appear in the JSONL stream after the event that triggered
 	// them — the bus runs subscribers in registration order.
 	inj.AttachTelemetry(tel)
+	if replayLog != nil && tel.Bus.Active() {
+		// Boot-time replay happened before the bus had subscribers;
+		// surface it as the stream's first event.
+		tel.Bus.Emit(telemetry.Event{
+			T: s.Now(), Kind: telemetry.EvLogReplay,
+			Blocks: int64(replayLog.Txns), Bytes: replayLog.SectorsRead, Depth: replayLog.SectorsWritten,
+		})
+	}
 	return &Machine{Sim: s, CPU: cm, Dev: dev, Disk: d, Vol: vl, Driver: dr, VM: v, FS: fs,
-		Engine: eng, Tel: tel, Fault: inj, RepairLog: repairLog}, nil
+		Engine: eng, Tel: tel, Fault: inj, RepairLog: repairLog, WAL: jl, ReplayLog: replayLog}, nil
+}
+
+// logGeometry converts the superblock's log-region fragments to the
+// device sector range the wal package works in.
+func logGeometry(sb *ufs.Superblock) (base, sectors int64) {
+	return sb.FsbToDb(sb.LogStart), int64(sb.LogFrags) * int64(sb.Fsize) / disk.SectorSize
 }
 
 // Run spawns fn as a simulated process and drives the simulation until
@@ -261,29 +342,3 @@ func (m *Machine) Snapshot() telemetry.Snapshot {
 	return m.Tel.Reg.Snapshot(m.Sim.Now())
 }
 
-// ResetStats zeroes every statistics counter and histogram (after
-// benchmark setup). The virtual clock keeps running; measure intervals
-// with Sim.Now().
-//
-// Deprecated: take a Snapshot before and after the measured phase and
-// Delta the two instead; resetting shared counters makes back-to-back
-// measurements on one machine interfere. This shim now also zeroes the
-// ufs.Fs allocator and metadata-cache counters, which the original
-// field-poking version forgot. No in-tree caller remains; the shim is
-// kept for one more release cycle for external callers and will be
-// removed with the next breaking API revision (the Readv/Writev
-// follow-up that drops the pre-telemetry compatibility surface).
-func (m *Machine) ResetStats() {
-	if m.Vol != nil {
-		m.Vol.ResetStats()
-	} else {
-		m.Disk.Stats = disk.Stats{}
-	}
-	m.Driver.Stats = driver.Stats{}
-	m.VM.Stats = vm.Stats{}
-	m.Engine.Stats = core.Stats{}
-	m.FS.ResetStats()
-	m.Fault.Stats = fault.Stats{}
-	m.CPU.Reset()
-	m.Tel.Reg.ResetHists()
-}

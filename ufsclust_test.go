@@ -133,11 +133,15 @@ func TestOnDiskFormatIdenticalAcrossEngines(t *testing.T) {
 	}
 }
 
-func TestResetStats(t *testing.T) {
+func TestSnapshotDeltaIsolatesMeasuredPhase(t *testing.T) {
+	// Interval measurement is Snapshot-before / Snapshot-after / Delta —
+	// nothing is reset, so back-to-back measurements on one machine
+	// cannot interfere (the reason the ResetStats shim could go).
 	m, err := NewMachineForRun(RunA())
 	if err != nil {
 		t.Fatal(err)
 	}
+	pre := m.Snapshot()
 	err = m.Run(func(p *sim.Proc) {
 		f, _ := m.Engine.Create(p, "/x")
 		f.Write(p, 0, make([]byte, 64<<10))
@@ -146,11 +150,11 @@ func TestResetStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Disk.Stats.Writes == 0 {
-		t.Fatal("no disk activity recorded")
+	busy := m.Snapshot()
+	if busy.Delta(pre).Get("disk.sectors_written") == 0 {
+		t.Fatal("no disk activity in the measured interval")
 	}
-	m.ResetStats()
-	if m.Disk.Stats.Writes != 0 || m.CPU.SystemTime() != 0 || m.Engine.Stats.PutPages != 0 {
-		t.Fatal("ResetStats left residue")
+	if quiet := m.Snapshot().Delta(busy); quiet.Get("disk.sectors_written") != 0 {
+		t.Fatal("quiet interval shows disk activity")
 	}
 }
